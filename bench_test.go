@@ -1,0 +1,294 @@
+package rowhammer
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the corresponding artifact via the drivers in
+// internal/experiments and reports the headline quantity as a custom
+// metric, so `go test -bench . -benchtime 1x` reproduces the whole
+// evaluation. The attack benchmarks run at QuickScale (width-0.25
+// models, short optimization) — pass -tags none and edit the scale in
+// internal/experiments for paper-scale runs (see EXPERIMENTS.md).
+
+import (
+	"testing"
+
+	"rowhammer/internal/experiments"
+)
+
+func benchScale() experiments.Scale { return experiments.QuickScale() }
+
+// BenchmarkTable1_FlipsPerPage regenerates Table I: average flips per
+// page over the 20 device profiles.
+func BenchmarkTable1_FlipsPerPage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(256, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.MeasuredFlipsPerPage
+		}
+		b.ReportMetric(sum/float64(len(rows)), "avg-flips/page")
+	}
+}
+
+// BenchmarkTable2_ResNet20 regenerates the Table II row block for
+// ResNet-20: all five methods, offline and online.
+func BenchmarkTable2_ResNet20(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchScale(), []string{"resnet20"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.Log(r.String())
+			if r.Method == experiments.MethodCFTBR {
+				b.ReportMetric(r.RMatch, "cftbr-rmatch-%")
+				b.ReportMetric(100*r.Online.ASR, "cftbr-online-asr-%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3_VGG regenerates Table III: CFT+BR on VGG-11/16.
+func BenchmarkTable3_VGG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(benchScale(), []string{"vgg11"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.Logf("%s: base %.3f TA %.3f ASR %.3f NFlip %d", r.Arch, r.BaseAcc, r.TA, r.ASR, r.NFlip)
+			b.ReportMetric(100*r.ASR, "asr-%")
+		}
+	}
+}
+
+// BenchmarkTable4_Restore regenerates Table IV: BadNet under parameter
+// restoration.
+func BenchmarkTable4_Restore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(benchScale(), "resnet20")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.Logf("keep %3d%%: TA %.3f ASR %.3f", r.ModificationPercent, r.TA, r.ASR)
+		}
+		b.ReportMetric(100*rows[len(rows)-1].ASR, "asr-at-50%-kept-%")
+	}
+}
+
+// BenchmarkFigure2_Sparsity regenerates the flip-sparsity statistics.
+func BenchmarkFigure2_Sparsity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Figure2(512, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.VulnerableRatio, "vulnerable-cells-%")
+	}
+}
+
+// BenchmarkFigure4_Massaging regenerates the release-order mapping.
+func BenchmarkFigure4_Massaging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure4(64, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(points)), "mapped-pages")
+	}
+}
+
+// BenchmarkFigure5_NSided regenerates the aggressor-count sweep.
+func BenchmarkFigure5_NSided(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure5(2048, 15, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			b.Logf("%2d-sided: %.2f flips/page", p.Sides, p.AvgFlipsPerPage)
+		}
+		b.ReportMetric(points[len(points)-1].AvgFlipsPerPage, "flips/page@15")
+	}
+}
+
+// BenchmarkFigure6_Aggressors regenerates the 15- vs 7-sided
+// comparison.
+func BenchmarkFigure6_Aggressors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Figure6(2048, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Avg15, "flips/page@15")
+		b.ReportMetric(rep.Avg7, "flips/page@7")
+	}
+}
+
+// BenchmarkFigure7_LossCurve regenerates the CFT+BR loss trajectory.
+func BenchmarkFigure7_LossCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Figure7(benchScale(), "resnet20")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.SpikeRatio, "post-BR-spike-ratio")
+	}
+}
+
+// BenchmarkFigure8_GradCAM regenerates the attention-shift comparison.
+func BenchmarkFigure8_GradCAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Figure8(benchScale(), "resnet20", 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.CleanFocus, "clean-trigger-focus")
+		b.ReportMetric(rep.BackdooredFocus, "backdoored-trigger-focus")
+	}
+}
+
+// BenchmarkFigure9_Probability regenerates the Eq. 2 curves for chip
+// K1.
+func BenchmarkFigure9_Probability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.Figure9()
+		b.ReportMetric(series[0].Prob[5], "p@2200pages-1bit")
+	}
+}
+
+// BenchmarkFigure10_PerChip regenerates the per-chip Eq. 2 curves.
+func BenchmarkFigure10_PerChip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.Figure10()
+		b.ReportMetric(float64(len(series)), "chips")
+	}
+}
+
+// BenchmarkFigure11_Spoiler regenerates the SPOILER timing sweep.
+func BenchmarkFigure11_Spoiler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Figure11(1024, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rep.Runs)), "contiguous-runs")
+	}
+}
+
+// BenchmarkFigure12_RowConflict regenerates the bank-conflict timing
+// distribution.
+func BenchmarkFigure12_RowConflict(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Figure12(400, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.ConflictFrac, "conflict-%")
+		b.ReportMetric(rep.MeanConflict, "conflict-cycles")
+	}
+}
+
+// BenchmarkFigure13_FlipSpread regenerates the CFT+BR vs TBT flip
+// locality comparison.
+func BenchmarkFigure13_FlipSpread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Figure13(benchScale(), "resnet20")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.CFTBRSpread, "cftbr-spread")
+		b.ReportMetric(rep.TBTSpread, "tbt-spread")
+	}
+}
+
+// BenchmarkDefense_Binarization regenerates the §VI-A binarization
+// result.
+func BenchmarkDefense_Binarization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.DefenseBinarization(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.NFlipBudget), "nflip-budget")
+		b.ReportMetric(100*rep.AttackASR, "asr-%")
+	}
+}
+
+// BenchmarkDefense_PWC regenerates the §VI-A clustering result.
+func BenchmarkDefense_PWC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.DefensePWC(benchScale(), "resnet20")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.AttackASR, "asr-%")
+		b.ReportMetric(rep.ClusterAfter/rep.ClusterBefore, "cluster-ratio")
+	}
+}
+
+// BenchmarkDefense_DeepDyve regenerates the §VI-B DeepDyve result.
+func BenchmarkDefense_DeepDyve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.DefenseDeepDyve(benchScale(), "resnet20")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.ASRDespiteDefense, "asr-despite-defense-%")
+		b.ReportMetric(100*rep.RecoveredRate, "recovered-%")
+	}
+}
+
+// BenchmarkDefense_Encoding regenerates the §VI-B weight-encoding
+// overhead analysis.
+func BenchmarkDefense_Encoding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.DefenseEncoding(benchScale(), "resnet20")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.ExtrapolatedVerify.Seconds(), "resnet34-verify-s")
+		b.ReportMetric(100*rep.StorageRatio, "storage-overhead-%")
+	}
+}
+
+// BenchmarkDefense_RADAR regenerates the §VI-B RADAR result.
+func BenchmarkDefense_RADAR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.DefenseRADAR(benchScale(), "resnet20")
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected := 0.0
+		if rep.AdaptiveDetected {
+			detected = 1
+		}
+		b.ReportMetric(detected, "adaptive-detected")
+		b.ReportMetric(100*rep.AdaptiveASR, "adaptive-asr-%")
+	}
+}
+
+// BenchmarkDefense_Reconstruction regenerates the §VI-C weight
+// reconstruction result.
+func BenchmarkDefense_Reconstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.DefenseReconstruction(benchScale(), "resnet20")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.AfterReconASR, "unaware-asr-after-recon-%")
+		b.ReportMetric(100*rep.AdaptiveASR, "adaptive-asr-after-recon-%")
+	}
+}
+
+// BenchmarkAppendixF_Plundervolt regenerates the negative result.
+func BenchmarkAppendixF_Plundervolt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Plundervolt(11)
+		b.ReportMetric(float64(rep.PoCLoopFaults), "poc-faults")
+		b.ReportMetric(float64(rep.QuantizedMACFaults), "quantized-faults")
+	}
+}

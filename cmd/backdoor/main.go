@@ -1,0 +1,80 @@
+// Command backdoor runs the end-to-end attack pipeline of the paper on
+// a simulated deployment: train a clean victim, learn the trigger and
+// bit flips offline (Algorithm 1), then template, massage and hammer
+// the simulated DRAM online, and report the deployed backdoor's
+// metrics.
+//
+// Usage:
+//
+//	backdoor -arch resnet20 -target 2 -width 0.25 -device "" -sides 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rowhammer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "backdoor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	arch := flag.String("arch", "resnet20", "victim architecture")
+	width := flag.Float64("width", 0.25, "model width multiplier")
+	target := flag.Int("target", 2, "backdoor target class")
+	nflip := flag.Int("nflip", 0, "bit-flip budget (0 = pages/7)")
+	iters := flag.Int("iters", 100, "offline optimization iterations")
+	device := flag.String("device", "", "Table I DRAM device name (empty = paper's DDR3)")
+	sides := flag.Int("sides", 0, "hammer pattern width (0 = auto)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("[1/4] training clean %s (width %.2f)…\n", *arch, *width)
+	victim, err := rowhammer.TrainVictim(rowhammer.VictimConfig{
+		Arch: *arch, WidthMult: *width, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("      clean accuracy %.2f%%, %d params over %d pages\n",
+		100*victim.CleanAccuracy(), victim.NumParams(), victim.WeightFilePages())
+
+	fmt.Printf("[2/4] offline phase: CFT+BR (Algorithm 1)…\n")
+	off, err := rowhammer.InjectBackdoor(victim, rowhammer.AttackConfig{
+		TargetClass: *target, NFlip: *nflip, Iterations: *iters,
+	})
+	if err != nil {
+		return err
+	}
+	offTA, offASR := off.OfflineMetrics()
+	fmt.Printf("      %d bit flips, offline TA %.2f%%, ASR %.2f%%\n", off.NFlip, 100*offTA, 100*offASR)
+
+	fmt.Printf("[3/4] online phase: template → massage → hammer…\n")
+	on, err := rowhammer.HammerOnline(victim, off, rowhammer.HardwareConfig{
+		Device: *device, Sides: *sides, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("      %d/%d required flips landed, %d accidental, r_match %.2f%%\n",
+		on.Matched, on.Required, on.Accidental, on.RMatch)
+
+	fmt.Printf("[4/4] evaluating deployed model…\n")
+	rep, err := rowhammer.Evaluate(victim, off, on)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Printf("clean accuracy:   %6.2f%%\n", 100*rep.CleanAccuracy)
+	fmt.Printf("offline TA / ASR: %6.2f%% / %6.2f%%\n", 100*rep.OfflineTA, 100*rep.OfflineASR)
+	fmt.Printf("online  TA / ASR: %6.2f%% / %6.2f%%\n", 100*rep.OnlineTA, 100*rep.OnlineASR)
+	fmt.Printf("N_flip offline/online: %d / %d, r_match %.2f%%\n",
+		rep.NFlipOffline, rep.NFlipOnline, rep.RMatch)
+	return nil
+}

@@ -1,0 +1,262 @@
+// Command experiments regenerates the paper's tables and figures from
+// the simulator (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	experiments -run table1
+//	experiments -run table2 -archs resnet20,resnet32
+//	experiments -run figure5,figure6
+//	experiments -run all -scale quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"rowhammer/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+var order = []string{
+	"table1", "table2", "table3", "table4",
+	"figure2", "figure4", "figure5", "figure6", "figure7", "figure8",
+	"figure9", "figure10", "figure11", "figure12", "figure13",
+	"defense_bnn", "defense_pwc", "defense_deepdyve", "defense_encoding",
+	"defense_radar", "defense_reconstruction", "plundervolt",
+}
+
+func run() error {
+	runList := flag.String("run", "", "comma-separated experiment ids, or 'all' ("+strings.Join(order, ", ")+")")
+	scaleName := flag.String("scale", "quick", "quick or paper")
+	archs := flag.String("archs", "resnet20", "comma-separated architectures for table2")
+	flag.Parse()
+
+	if *runList == "" {
+		return fmt.Errorf("pass -run <ids> or -run all")
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	ids := strings.Split(*runList, ",")
+	if *runList == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		fmt.Printf("==== %s ====\n", id)
+		if err := runOne(strings.TrimSpace(id), scale, strings.Split(*archs, ",")); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runOne(id string, scale experiments.Scale, archs []string) error {
+	switch id {
+	case "table1":
+		rows, err := experiments.Table1(512, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("device  type  paper   measured  sides")
+		for _, r := range rows {
+			fmt.Printf("%-6s  %-4s  %6.2f  %8.2f  %d\n",
+				r.Device, r.Type, r.PaperFlipsPerPage, r.MeasuredFlipsPerPage, r.Sides)
+		}
+	case "table2":
+		rows, err := experiments.Table2(scale, archs)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r.String())
+		}
+	case "table3":
+		rows, err := experiments.Table3(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("model   base-acc  TA      ASR     Nflip")
+		for _, r := range rows {
+			fmt.Printf("%-6s  %6.2f%%  %6.2f%% %6.2f%% %d\n",
+				r.Arch, 100*r.BaseAcc, 100*r.TA, 100*r.ASR, r.NFlip)
+		}
+	case "table4":
+		rows, err := experiments.Table4(scale, "resnet20")
+		if err != nil {
+			return err
+		}
+		fmt.Println("kept  TA      ASR")
+		for _, r := range rows {
+			fmt.Printf("%3d%%  %6.2f%% %6.2f%%\n", r.ModificationPercent, 100*r.TA, 100*r.ASR)
+		}
+	case "figure2":
+		rep, err := experiments.Figure2(1024, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("buffer %d MB: %d flips, %.4f%% of cells vulnerable, max %d flips in one page\n",
+			rep.BufferBytes>>20, rep.TotalFlips, 100*rep.VulnerableRatio, rep.MaxFlipsInPage)
+	case "figure4":
+		points, err := experiments.Figure4(64, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("file-page  frame")
+		for _, p := range points {
+			fmt.Printf("%9d  %d\n", p.FilePage, p.Frame)
+		}
+	case "figure5":
+		points, err := experiments.Figure5(2048, 19, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("sides  avg-flips/page")
+		for _, p := range points {
+			fmt.Printf("%5d  %.3f\n", p.Sides, p.AvgFlipsPerPage)
+		}
+	case "figure6":
+		rep, err := experiments.Figure6(2048, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("15-sided: %.2f flips/page (extra %.2f)\n", rep.Avg15, rep.ExtraPerPage15)
+		fmt.Printf(" 7-sided: %.2f flips/page (extra %.2f)\n", rep.Avg7, rep.ExtraPerPage7)
+	case "figure7":
+		rep, err := experiments.Figure7(scale, "resnet20")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("iterations %d, bit-reduction at %v, post-BR spike ratio %.2f\n",
+			len(rep.Loss), rep.BitReduceIters, rep.SpikeRatio)
+		for i := 0; i < len(rep.Loss); i += len(rep.Loss) / 20 {
+			fmt.Printf("iter %4d: loss %.4f\n", i, rep.Loss[i])
+		}
+	case "figure8":
+		rep, err := experiments.Figure8(scale, "resnet20", 4)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trigger mask covers %.1f%% of the image\n", 100*rep.MaskArea)
+		fmt.Printf("clean model trigger focus:      %.3f\n", rep.CleanFocus)
+		fmt.Printf("backdoored model trigger focus: %.3f (ASR %.1f%%)\n",
+			rep.BackdooredFocus, 100*rep.OfflineASR)
+	case "figure9":
+		for _, s := range experiments.Figure9() {
+			fmt.Printf("k+l=%d:", s.KPlusL)
+			for i, n := range s.PageCounts {
+				fmt.Printf("  p(%d)=%.4g", n, s.Prob[i])
+			}
+			fmt.Println()
+		}
+	case "figure10":
+		series := experiments.Figure10()
+		sort.Slice(series, func(i, j int) bool { return series[i].Device < series[j].Device })
+		for _, s := range series {
+			fmt.Printf("%-4s", s.Device)
+			for i, n := range s.PageCounts {
+				fmt.Printf("  p(%d)=%.3g", n, s.Prob[i])
+			}
+			fmt.Println()
+		}
+	case "figure11":
+		rep, err := experiments.Figure11(1024, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d timing samples, %d contiguous runs detected\n", len(rep.Timings), len(rep.Runs))
+		for _, r := range rep.Runs {
+			fmt.Printf("run: pages %d..%d (%d pages)\n", r.StartPage, r.StartPage+r.Pages-1, r.Pages)
+		}
+	case "figure12":
+		rep, err := experiments.Figure12(512, scale.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("conflict fraction %.3f (≈1/16 banks), conflict %.0f cycles vs fast %.0f cycles\n",
+			rep.ConflictFrac, rep.MeanConflict, rep.MeanFast)
+	case "figure13":
+		rep, err := experiments.Figure13(scale, "resnet20")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("weight file: %d pages\n", rep.TotalPages)
+		fmt.Printf("CFT+BR: flips on pages %v (spread %.2f, max %d per page)\n",
+			rep.CFTBRPages, rep.CFTBRSpread, rep.CFTBRMaxHits)
+		fmt.Printf("TBT:    flips on pages %v (spread %.2f, max %d per page)\n",
+			rep.TBTPages, rep.TBTSpread, rep.TBTMaxHits)
+	case "defense_bnn":
+		rep, err := experiments.DefenseBinarization(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pages: %d full-precision → %d binarized (N_flip budget %d)\n",
+			rep.Info.FullPrecisionPages, rep.Info.BinarizedPages, rep.NFlipBudget)
+		fmt.Printf("accuracy cost: %.2f%% (binarized) vs %.2f%% (full)\n", 100*rep.BaseAcc, 100*rep.FullAcc)
+		fmt.Printf("attack under budget: TA %.2f%% ASR %.2f%%\n", 100*rep.AttackTA, 100*rep.AttackASR)
+	case "defense_pwc":
+		rep, err := experiments.DefensePWC(scale, "resnet32")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("clustering score %.4f → %.4f, clean TA %.2f%%\n",
+			rep.ClusterBefore, rep.ClusterAfter, 100*rep.CleanTA)
+		fmt.Printf("attack on clustered model: TA %.2f%% ASR %.2f%%\n", 100*rep.AttackTA, 100*rep.AttackASR)
+	case "defense_deepdyve":
+		rep, err := experiments.DefenseDeepDyve(scale, "resnet20")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("offline ASR %.2f%%, ASR despite DeepDyve %.2f%%, alarms %.2f%%, recovered %.2f%%\n",
+			100*rep.OfflineASR, 100*rep.ASRDespiteDefense, 100*rep.AlarmRate, 100*rep.RecoveredRate)
+	case "defense_encoding":
+		rep, err := experiments.DefenseEncoding(scale, "resnet20")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("attack detected: %v (measured verify %v over %d weights)\n",
+			rep.Detected, rep.MeasuredVerify, rep.MeasuredWeights)
+		fmt.Printf("extrapolated ResNet-34 verify: %v, storage overhead %.0f%%\n",
+			rep.ExtrapolatedVerify, 100*rep.StorageRatio)
+	case "defense_radar":
+		rep, err := experiments.DefenseRADAR(scale, "resnet20")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("standard attack detected: %v\n", rep.StandardDetected)
+		fmt.Printf("adaptive (MSB-avoiding) detected: %v, its TA %.2f%% ASR %.2f%%\n",
+			rep.AdaptiveDetected, 100*rep.AdaptiveTA, 100*rep.AdaptiveASR)
+	case "defense_reconstruction":
+		rep, err := experiments.DefenseReconstruction(scale, "resnet32")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("unaware attacker: ASR %.2f%% → %.2f%% after reconstruction (TA %.2f%% → %.2f%%)\n",
+			100*rep.UnawareASR, 100*rep.AfterReconASR, 100*rep.UnawareTA, 100*rep.AfterReconTA)
+		fmt.Printf("defense-aware attacker after reconstruction: TA %.2f%% ASR %.2f%%\n",
+			100*rep.AdaptiveTA, 100*rep.AdaptiveASR)
+	case "plundervolt":
+		rep := experiments.Plundervolt(scale.Seed)
+		fmt.Printf("PoC loop faults: %d, safe-operand faults: %d, quantized-MAC faults: %d\n",
+			rep.PoCLoopFaults, rep.SafeOperandFaults, rep.QuantizedMACFaults)
+	default:
+		return fmt.Errorf("unknown experiment (known: %s)", strings.Join(order, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command memprofile runs the offline memory-templating phase against a
+// simulated DRAM device: SPOILER contiguity detection, row-conflict
+// bank clustering, and double-/n-sided hammering of every victim row,
+// reporting the flips-per-page statistics of Table I and Figure 2.
+//
+// Usage:
+//
+//	memprofile -device A1 -pages 1024
+//	memprofile -device K1 -pages 2048 -sides 15
+//	memprofile -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/profile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	device := flag.String("device", "", "Table I device name (empty = paper's DDR3 module)")
+	pages := flag.Int("pages", 1024, "templating buffer size in 4 KB pages")
+	sides := flag.Int("sides", 0, "hammer pattern width (0 = 2 for DDR3, 15 for DDR4)")
+	seed := flag.Int64("seed", 1, "vulnerable-cell layout seed")
+	list := flag.Bool("list", false, "list the Table I device profiles and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("device  type  avg flips/page (Table I)")
+		for _, name := range dram.ProfileNames() {
+			p, _ := dram.ProfileByName(name)
+			fmt.Printf("%-6s  %-4s  %.2f\n", p.Name, p.Type, p.FlipsPerPage)
+		}
+		return nil
+	}
+
+	prof := dram.PaperDDR3()
+	if *device != "" {
+		p, ok := dram.ProfileByName(*device)
+		if !ok {
+			return fmt.Errorf("unknown device %q (use -list)", *device)
+		}
+		prof = p
+	}
+	if *sides == 0 {
+		*sides = 2
+		if prof.Type == dram.DDR4 {
+			*sides = 15
+		}
+	}
+
+	mod, err := dram.NewModuleForSize(*pages*memsys.PageSize*2, prof, *seed)
+	if err != nil {
+		return err
+	}
+	sys := memsys.NewSystem(mod)
+	proc := sys.NewProcess()
+	base, err := proc.Mmap(*pages)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("templating %d pages on %s (%s, %d-sided)…\n", *pages, prof.Name, prof.Type, *sides)
+	result, err := profile.ProfileBuffer(sys, proc, base, *pages, profile.Config{
+		Sides: *sides, Intensity: 1, MeasureSeed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("victim pages profiled: %d\n", result.VictimPageCount())
+	fmt.Printf("total flips:           %d\n", result.TotalFlips())
+	fmt.Printf("flippy pages:          %d\n", result.FlippyPageCount())
+	fmt.Printf("avg flips per page:    %.2f (Table I value: %.2f)\n",
+		result.AvgFlipsPerPage(), prof.FlipsPerPage)
+	bits := result.VictimPageCount() * memsys.PageSize * 8
+	if bits > 0 {
+		fmt.Printf("vulnerable cells:      %.4f%% of profiled bits\n",
+			100*float64(result.TotalFlips())/float64(bits))
+	}
+
+	hist := result.FlipsPerPageHistogram()
+	var keys []int
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Println("\nflips/page histogram:")
+	for _, k := range keys {
+		fmt.Printf("%4d flips: %6d pages\n", k, hist[k])
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+// Package rowhammer is a from-scratch Go reproduction of "Don't Knock!
+// Rowhammer at the Backdoor of DNN Models" (DSN 2023): an end-to-end
+// backdoor-injection attack on deployed, 8-bit-quantized DNN models
+// that flips a handful of weight bits in DRAM via Rowhammer.
+//
+// The package exposes the full pipeline:
+//
+//  1. Train a victim classifier on a built-in synthetic task
+//     (TrainVictim) or bring your own model via the internal engine.
+//  2. Run the offline phase (InjectBackdoor): Algorithm 1 — joint
+//     trigger learning (FGSM), one-weight-per-page selection
+//     (Group_Sort_Select) and Bit Reduction — producing a set of
+//     single-bit flips and a trigger pattern.
+//  3. Run the online phase (HammerOnline) against a simulated DRAM
+//     system: SPOILER/row-conflict templating, Listing-1 page-cache
+//     massaging, and n-sided hammering of the victim's mapped weight
+//     file.
+//  4. Evaluate stealth and attack success (Evaluate).
+//
+// Everything the paper's evaluation needs — the DRAM cell simulator,
+// the OS memory subsystem, the side channels, the baselines
+// (BadNet/FT/TBT) and the §VI countermeasures — lives in the internal
+// packages and is driven by cmd/experiments and the benchmarks in
+// bench_test.go.
+//
+// The quick start:
+//
+//	victim, _ := rowhammer.TrainVictim(rowhammer.VictimConfig{Arch: "resnet20"})
+//	offline, _ := rowhammer.InjectBackdoor(victim, rowhammer.AttackConfig{TargetClass: 2})
+//	online, _ := rowhammer.HammerOnline(victim, offline, rowhammer.HardwareConfig{})
+//	report := rowhammer.Evaluate(victim, offline, online)
+package rowhammer

@@ -1,0 +1,116 @@
+// Memory-templating walk-through: the unprivileged building blocks of
+// the online phase, step by step — SPOILER contiguity detection,
+// row-buffer-conflict bank clustering, Rowhammer profiling of the
+// attacker's own buffer, and the Listing-1 page-frame-cache massaging
+// that steers a victim file onto chosen physical frames.
+//
+//	go run ./examples/memtemplating
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/profile"
+	"rowhammer/internal/sidechan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	module, err := dram.NewModuleForSize(64<<20, dram.PaperDDR3(), 2024)
+	if err != nil {
+		return err
+	}
+	sys := memsys.NewSystem(module)
+	attacker := sys.NewProcess()
+
+	// Step 1: allocate a buffer and find physically contiguous memory
+	// with SPOILER (no root, no /proc/self/pagemap).
+	const bufPages = 2048
+	base, err := attacker.Mmap(bufPages)
+	if err != nil {
+		return err
+	}
+	meas := sidechan.NewMeasurer(sys, 1)
+	timings, err := meas.SpoilerSweep(attacker, base, bufPages)
+	if err != nil {
+		return err
+	}
+	runs := sidechan.DetectContiguousRuns(timings, sidechan.SpoilerAlias)
+	fmt.Printf("step 1 — SPOILER: %d timing samples, peaks every %d pages\n", len(timings), sidechan.SpoilerAlias)
+	for _, r := range runs {
+		fmt.Printf("          contiguous run: pages %d..%d (%d pages = %d MB)\n",
+			r.StartPage, r.StartPage+r.Pages-1, r.Pages, r.Pages*memsys.PageSize>>20)
+	}
+
+	// Step 2: cluster row chunks into banks with the row-buffer
+	// conflict side channel.
+	var chunks []int
+	for i := 0; i < 64; i++ {
+		chunks = append(chunks, base+i*dram.RowBytes)
+	}
+	clusters, err := meas.ClusterByBank(attacker, chunks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("step 2 — row-conflict clustering: %d chunks → %d banks\n", len(chunks), len(clusters))
+
+	// Step 3: profile the buffer for reproducible bit flips.
+	prof, err := profile.ProfileBuffer(sys, attacker, base, bufPages, profile.Config{
+		Sides: 2, Intensity: 1, MeasureSeed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("step 3 — Rowhammer templating: %d flips in %d victim pages (%.4f%% of bits)\n",
+		prof.TotalFlips(), prof.VictimPageCount(),
+		100*float64(prof.TotalFlips())/float64(prof.VictimPageCount()*memsys.PageSize*8))
+
+	// Step 4: massage a victim file onto frames of our choosing via the
+	// FILO per-CPU page-frame cache (Listing 1).
+	const filePages = 8
+	sys.WriteFile("victim.bin", make([]byte, filePages*memsys.PageSize))
+	assignment := []int{40, 12, 300, 77, 501, 9, 230, 111}
+	want := make([]int, filePages)
+	for i, bp := range assignment {
+		if want[i], err = attacker.FrameOf(base + bp*memsys.PageSize); err != nil {
+			return err
+		}
+	}
+	for sys.FrameCacheDepth() > 0 {
+		if _, err := attacker.Mmap(1); err != nil {
+			return err
+		}
+	}
+	if err := memsys.MassageFileMapping(attacker, base, assignment); err != nil {
+		return err
+	}
+	victim := sys.NewProcess()
+	vbase, err := victim.MmapFile("victim.bin")
+	if err != nil {
+		return err
+	}
+	fmt.Println("step 4 — massaging (Listing 1): victim file page → physical frame")
+	allPlaced := true
+	for i := 0; i < filePages; i++ {
+		got, err := victim.FrameOf(vbase + i*memsys.PageSize)
+		if err != nil {
+			return err
+		}
+		mark := "✓"
+		if got != want[i] {
+			mark = "✗"
+			allPlaced = false
+		}
+		fmt.Printf("          file page %d → frame %6d (planned %6d) %s\n", i, got, want[i], mark)
+	}
+	fmt.Printf("placement fully controlled: %v\n", allPlaced)
+	return nil
+}

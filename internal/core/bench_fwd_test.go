@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+
+	"rowhammer/internal/models"
+	"rowhammer/internal/nn"
+	"rowhammer/internal/tensor"
+)
+
+func BenchmarkFwdBwd(b *testing.B) {
+	for _, w := range []float64{0.25, 0.5} {
+		m, _ := models.Build(models.Config{Arch: "resnet20", Classes: 10, WidthMult: w, Seed: 1})
+		nn.FreezeBatchNorm(m.Root)
+		x := tensor.New(32, 3, 32, 32)
+		tensor.NewRNG(1).FillNormal(x, 0, 1)
+		labels := make([]int, 32)
+		b.Run(map[float64]string{0.25: "w025", 0.5: "w05"}[w], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.ZeroGrad()
+				out := m.Forward(x, true)
+				_, grad := nn.CrossEntropy(out, labels, 1)
+				m.Backward(grad)
+			}
+		})
+	}
+}

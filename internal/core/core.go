@@ -1,0 +1,118 @@
+// Package core implements the paper's primary contribution: the
+// Constrained Fine-Tuning with Bit Reduction attack (Algorithm 1) that
+// jointly learns a backdoor trigger pattern and a set of weight bit
+// flips satisfying the Rowhammer hardware constraints — at most one
+// flipped weight per memory page (Group_Sort_Select) and at most one
+// flipped bit per weight (Bit Reduction) — plus the online phase that
+// places the victim's weight file onto profiled flippy pages and hammers
+// the target bits in simulated DRAM.
+package core
+
+import (
+	"rowhammer/internal/nn"
+	"rowhammer/internal/profile"
+	"rowhammer/internal/quant"
+)
+
+// paramOffsets returns the starting flat weight-file offset of each
+// parameter tensor.
+func paramOffsets(params []*nn.Param) []int {
+	offs := make([]int, len(params))
+	off := 0
+	for i, p := range params {
+		offs[i] = off
+		off += p.W.Len()
+	}
+	return offs
+}
+
+// flatAbsGrad concatenates |G| of every parameter in weight-file order
+// into dst (allocated by the caller with the model's parameter count).
+func flatAbsGrad(params []*nn.Param, dst []float32) {
+	off := 0
+	for _, p := range params {
+		g := p.G.Data()
+		for _, v := range g {
+			if v < 0 {
+				v = -v
+			}
+			dst[off] = v
+			off++
+		}
+	}
+}
+
+// RequirementsFromCodes converts the code difference between the
+// original and backdoored weight files into per-page flip requirements
+// for the online placement planner.
+func RequirementsFromCodes(orig, backdoored []int8) []profile.PageRequirement {
+	diffs := quant.DiffBitsOf(orig, backdoored)
+	byPage := make(map[int][]profile.CellFlip)
+	for _, d := range diffs {
+		page := quant.PageOf(d.Weight)
+		flip := profile.CellFlip{
+			Offset: quant.PageOffset(d.Weight),
+			Bit:    int(d.Bit),
+			Dir:    dirOf(d.ZeroToOne),
+		}
+		byPage[page] = append(byPage[page], flip)
+	}
+	out := make([]profile.PageRequirement, 0, len(byPage))
+	for page, flips := range byPage {
+		out = append(out, profile.PageRequirement{FilePage: page, Flips: flips})
+	}
+	return out
+}
+
+// ReduceRequirementsToOnePerPage applies the paper's online-phase
+// concession for the baseline attacks: when a page needs several flips
+// (which no real flippy page provides — Eq. 2), keep only the single
+// most impactful one. Per page, the weight with the largest |code
+// change| wins, and within it the most significant differing bit.
+// Everything else is dropped, which is exactly why the baselines' ASR
+// collapses online.
+func ReduceRequirementsToOnePerPage(orig, backdoored []int8) []profile.PageRequirement {
+	type bestFlip struct {
+		delta int
+		flip  profile.CellFlip
+		found bool
+	}
+	best := make(map[int]*bestFlip)
+	for i := range orig {
+		if orig[i] == backdoored[i] {
+			continue
+		}
+		d := int(backdoored[i]) - int(orig[i])
+		if d < 0 {
+			d = -d
+		}
+		page := quant.PageOf(i)
+		b, ok := best[page]
+		if !ok {
+			b = &bestFlip{}
+			best[page] = b
+		}
+		if !b.found || d > b.delta {
+			// Most significant differing bit of this weight.
+			reduced := quant.BitReduce(orig[i], backdoored[i])
+			diff := byte(orig[i]) ^ byte(reduced)
+			bit := 0
+			for diff > 1 {
+				diff >>= 1
+				bit++
+			}
+			b.delta = d
+			b.found = true
+			b.flip = profile.CellFlip{
+				Offset: quant.PageOffset(i),
+				Bit:    bit,
+				Dir:    dirOf(byte(reduced)&(1<<bit) != 0),
+			}
+		}
+	}
+	out := make([]profile.PageRequirement, 0, len(best))
+	for page, b := range best {
+		out = append(out, profile.PageRequirement{FilePage: page, Flips: []profile.CellFlip{b.flip}})
+	}
+	return out
+}

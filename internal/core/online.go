@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/metrics"
+	"rowhammer/internal/profile"
+)
+
+// OnlineConfig parameterizes the online (hammering) phase.
+type OnlineConfig struct {
+	// BufferPages is the attacker's templating buffer size in pages.
+	BufferPages int
+	// Sides is the hammer pattern width (2 for DDR3 double-sided, 7
+	// for the paper's DDR4 online attack).
+	Sides int
+	// Intensity is the normalized per-aggressor activation budget.
+	Intensity float64
+	// MeasureSeed seeds the side-channel noise.
+	MeasureSeed int64
+	// WeightFileName names the victim's weight file on the simulated
+	// disk.
+	WeightFileName string
+}
+
+// DefaultOnlineConfig sizes the templating buffer for a weight file of
+// filePages pages. The floor of 32768 pages (128 MB) is the paper's
+// profiling scale and is what Eq. 2 needs for the probability of
+// finding a page with one specific (offset, bit, direction) flip to
+// approach 1; smaller buffers leave requirements unmatched.
+func DefaultOnlineConfig(filePages int) OnlineConfig {
+	buf := filePages * 4
+	if buf < 32768 {
+		buf = 32768
+	}
+	if buf%2 == 1 {
+		buf++
+	}
+	return OnlineConfig{
+		BufferPages:    buf,
+		Sides:          2,
+		Intensity:      1,
+		WeightFileName: "model-weights.bin",
+	}
+}
+
+// OnlineResult reports what the hammering actually achieved.
+type OnlineResult struct {
+	// CorruptedFile is the weight file as the victim now sees it
+	// through the page cache.
+	CorruptedFile []byte
+	// Plan is the placement the attacker executed.
+	Plan *profile.Placement
+	// NFlipOnline is the Hamming distance between the original and
+	// corrupted files over the model bytes (target + accidental flips
+	// that actually fired).
+	NFlipOnline int
+	// NMatch counts required bits that really flipped.
+	NMatch int
+	// NRequired is the offline N_flip (total required bits).
+	NRequired int
+	// AccidentalFlips counts flips outside the required set.
+	AccidentalFlips int
+	// RMatch is the paper's DRAM match rate (percent).
+	RMatch float64
+}
+
+// ExecuteOnline runs the full online phase against a simulated system:
+// write the victim's weight file to disk, profile an attacker buffer,
+// plan the placement of required flips onto flippy pages, massage the
+// page-frame cache (Listing 1), let the victim map the file, hammer,
+// and return the corrupted file the page cache now serves.
+func ExecuteOnline(sys *memsys.System, weightFile []byte, reqs []profile.PageRequirement, cfg OnlineConfig) (*OnlineResult, error) {
+	if cfg.WeightFileName == "" {
+		cfg.WeightFileName = "model-weights.bin"
+	}
+	if len(weightFile)%memsys.PageSize != 0 {
+		return nil, fmt.Errorf("core: weight file must be page aligned, got %d bytes", len(weightFile))
+	}
+	filePages := len(weightFile) / memsys.PageSize
+	sys.WriteFile(cfg.WeightFileName, weightFile)
+
+	// Offline-on-machine step: template the attacker buffer.
+	attacker := sys.NewProcess()
+	bufBase, err := attacker.Mmap(cfg.BufferPages)
+	if err != nil {
+		return nil, fmt.Errorf("core: attacker buffer: %w", err)
+	}
+	prof, err := profile.ProfileBuffer(sys, attacker, bufBase, cfg.BufferPages, profile.Config{
+		Sides:       cfg.Sides,
+		Intensity:   cfg.Intensity,
+		MeasureSeed: cfg.MeasureSeed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling: %w", err)
+	}
+
+	plan, err := profile.PlanPlacement(prof, reqs, filePages)
+	if err != nil {
+		return nil, fmt.Errorf("core: placement: %w", err)
+	}
+
+	// Drain stale frame-cache entries so the victim's faults pop
+	// exactly the frames the massaging releases.
+	for sys.FrameCacheDepth() > 0 {
+		if _, err := attacker.Mmap(1); err != nil {
+			return nil, fmt.Errorf("core: draining frame cache: %w", err)
+		}
+	}
+
+	// Listing 1: release the chosen frames in reverse file order.
+	if err := memsys.MassageFileMapping(attacker, bufBase, plan.Assignment); err != nil {
+		return nil, fmt.Errorf("core: massaging: %w", err)
+	}
+
+	// The victim loads the model; the page cache pulls the file into
+	// the attacker-chosen frames.
+	victim := sys.NewProcess()
+	fileBase, err := victim.MmapFile(cfg.WeightFileName)
+	if err != nil {
+		return nil, fmt.Errorf("core: victim map: %w", err)
+	}
+
+	// Hammer every planned row.
+	for _, ri := range plan.HammerRows {
+		row := &prof.Rows[ri]
+		if err := profile.HammerRows(sys, attacker, row.AggressorVaddrs, row.Intensity); err != nil {
+			return nil, fmt.Errorf("core: hammering row %d: %w", ri, err)
+		}
+	}
+
+	corrupted, err := victim.ReadMapped(fileBase, len(weightFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading corrupted file: %w", err)
+	}
+
+	res := &OnlineResult{CorruptedFile: corrupted, Plan: plan}
+	res.tally(weightFile, corrupted, reqs)
+	return res, nil
+}
+
+// tally computes the online metrics from the observed corruption.
+func (r *OnlineResult) tally(orig, corrupted []byte, reqs []profile.PageRequirement) {
+	required := make(map[[3]int]bool)
+	for _, req := range reqs {
+		for _, f := range req.Flips {
+			required[[3]int{req.FilePage, f.Offset, f.Bit}] = true
+			r.NRequired++
+		}
+	}
+	targetPages := make(map[int]bool)
+	for i := range orig {
+		d := orig[i] ^ corrupted[i]
+		if d == 0 {
+			continue
+		}
+		page := i / memsys.PageSize
+		off := i % memsys.PageSize
+		for bit := 0; bit < 8; bit++ {
+			if d&(1<<bit) == 0 {
+				continue
+			}
+			r.NFlipOnline++
+			if required[[3]int{page, off, bit}] {
+				r.NMatch++
+			} else {
+				r.AccidentalFlips++
+				targetPages[page] = true
+			}
+		}
+	}
+	// δ: average accidental flips per disturbed page (0 when none).
+	deltaPerPage := 0.0
+	if len(targetPages) > 0 {
+		deltaPerPage = float64(r.AccidentalFlips) / float64(len(targetPages))
+	}
+	r.RMatch = metrics.RMatch(r.NMatch, r.NRequired, deltaPerPage)
+}

@@ -1,0 +1,100 @@
+// Package data provides the seeded synthetic image-classification tasks
+// that stand in for CIFAR-10 and ImageNet (which are unavailable in this
+// offline reproduction), plus batching helpers and the backdoor-trigger
+// abstraction shared by the attack and defense code.
+//
+// Each class is defined by a smooth random prototype image; samples are
+// noisy draws around their class prototype. The tasks are easy enough
+// for the from-scratch models to reach high clean accuracy in seconds of
+// CPU training, which is the property the backdoor experiments need
+// (stealth is measured as preserved test accuracy).
+package data
+
+import (
+	"fmt"
+
+	"rowhammer/internal/tensor"
+)
+
+// Dataset is a labeled image set. Images are (N, C, H, W) in [0, 1].
+type Dataset struct {
+	Images  *tensor.Tensor
+	Labels  []int
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Labels) }
+
+// ImageSize returns (C, H, W).
+func (d *Dataset) ImageSize() (c, h, w int) {
+	return d.Images.Dim(1), d.Images.Dim(2), d.Images.Dim(3)
+}
+
+// Image returns the flat pixel slice of sample i (a view, not a copy).
+func (d *Dataset) Image(i int) []float32 {
+	c, h, w := d.ImageSize()
+	n := c * h * w
+	return d.Images.Data()[i*n : (i+1)*n]
+}
+
+// Subset returns a dataset holding copies of the given sample indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	c, h, w := d.ImageSize()
+	n := c * h * w
+	out := tensor.New(len(idx), c, h, w)
+	labels := make([]int, len(idx))
+	for j, i := range idx {
+		copy(out.Data()[j*n:(j+1)*n], d.Image(i))
+		labels[j] = d.Labels[i]
+	}
+	return &Dataset{Images: out, Labels: labels, Classes: d.Classes}
+}
+
+// Head returns the first n samples as a subset.
+func (d *Dataset) Head(n int) *Dataset {
+	if n > d.Len() {
+		n = d.Len()
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return d.Subset(idx)
+}
+
+// Batch is one minibatch view.
+type Batch struct {
+	Images *tensor.Tensor
+	Labels []int
+}
+
+// Batches splits the dataset into minibatches of at most size samples,
+// in order. The batches copy pixel data so callers may mutate them
+// (e.g. to stamp triggers) without corrupting the dataset.
+func (d *Dataset) Batches(size int) []Batch {
+	if size <= 0 {
+		panic(fmt.Sprintf("data: batch size must be positive, got %d", size))
+	}
+	c, h, w := d.ImageSize()
+	n := c * h * w
+	var out []Batch
+	for lo := 0; lo < d.Len(); lo += size {
+		hi := lo + size
+		if hi > d.Len() {
+			hi = d.Len()
+		}
+		img := tensor.New(hi-lo, c, h, w)
+		copy(img.Data(), d.Images.Data()[lo*n:hi*n])
+		out = append(out, Batch{
+			Images: img,
+			Labels: append([]int(nil), d.Labels[lo:hi]...),
+		})
+	}
+	return out
+}
+
+// Shuffled returns a copy of the dataset with samples permuted by rng.
+func (d *Dataset) Shuffled(rng *tensor.RNG) *Dataset {
+	return d.Subset(rng.Perm(d.Len()))
+}

@@ -1,0 +1,220 @@
+package data
+
+import (
+	"testing"
+
+	"rowhammer/internal/tensor"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := SynthCIFAR(40, 7)
+	a := Synthesize(cfg, 1)
+	b := Synthesize(cfg, 1)
+	for i := range a.Images.Data() {
+		if a.Images.Data()[i] != b.Images.Data()[i] {
+			t.Fatal("same seeds must give same data")
+		}
+	}
+	c := Synthesize(cfg, 2)
+	same := true
+	for i := range a.Images.Data() {
+		if a.Images.Data()[i] != c.Images.Data()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different sample seeds gave identical data")
+	}
+}
+
+func TestSynthesizeBalancedLabels(t *testing.T) {
+	ds := Synthesize(SynthCIFAR(50, 3), 1)
+	counts := make([]int, 10)
+	for _, l := range ds.Labels {
+		counts[l]++
+	}
+	for cl, n := range counts {
+		if n != 5 {
+			t.Fatalf("class %d has %d samples, want 5", cl, n)
+		}
+	}
+}
+
+func TestSynthesizePixelRange(t *testing.T) {
+	ds := Synthesize(SynthCIFAR(20, 5), 9)
+	for _, v := range ds.Images.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestSubsetAndHead(t *testing.T) {
+	ds := Synthesize(SynthCIFAR(30, 1), 1)
+	sub := ds.Subset([]int{5, 10})
+	if sub.Len() != 2 {
+		t.Fatalf("subset len %d", sub.Len())
+	}
+	if sub.Labels[0] != ds.Labels[5] || sub.Labels[1] != ds.Labels[10] {
+		t.Fatal("subset labels wrong")
+	}
+	img5 := ds.Image(5)
+	for i, v := range sub.Image(0) {
+		if v != img5[i] {
+			t.Fatal("subset pixels wrong")
+		}
+	}
+	// Subset copies: mutating the subset must not affect the original.
+	sub.Image(0)[0] = -1
+	if ds.Image(5)[0] == -1 {
+		t.Fatal("Subset must copy pixels")
+	}
+	h := ds.Head(7)
+	if h.Len() != 7 || h.Labels[3] != ds.Labels[3] {
+		t.Fatal("Head wrong")
+	}
+	if ds.Head(100).Len() != 30 {
+		t.Fatal("Head should clamp to dataset size")
+	}
+}
+
+func TestBatches(t *testing.T) {
+	ds := Synthesize(SynthCIFAR(25, 2), 4)
+	bs := ds.Batches(10)
+	if len(bs) != 3 {
+		t.Fatalf("got %d batches, want 3", len(bs))
+	}
+	if bs[2].Images.Dim(0) != 5 || len(bs[2].Labels) != 5 {
+		t.Fatalf("tail batch size %d", bs[2].Images.Dim(0))
+	}
+	// Batches must be copies.
+	bs[0].Images.Data()[0] = -5
+	if ds.Images.Data()[0] == -5 {
+		t.Fatal("Batches must copy pixels")
+	}
+}
+
+func TestShuffledPreservesPairs(t *testing.T) {
+	ds := Synthesize(SynthCIFAR(20, 8), 3)
+	sh := ds.Shuffled(tensor.NewRNG(1))
+	if sh.Len() != ds.Len() {
+		t.Fatal("length changed")
+	}
+	// Each shuffled sample must exist in the original with its label.
+	c, h, w := ds.ImageSize()
+	n := c * h * w
+	for i := 0; i < sh.Len(); i++ {
+		found := false
+		for j := 0; j < ds.Len(); j++ {
+			if sh.Labels[i] != ds.Labels[j] {
+				continue
+			}
+			match := true
+			for k := 0; k < n; k += 97 {
+				if sh.Image(i)[k] != ds.Image(j)[k] {
+					match = false
+					break
+				}
+			}
+			if match {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("shuffled sample %d not found in original", i)
+		}
+	}
+}
+
+func TestTriggerApplyOnlyTouchesMask(t *testing.T) {
+	tr := NewSquareTrigger(3, 32, 32, 10)
+	tr.Pattern.Fill(0.5)
+	img := tensor.New(2, 3, 32, 32)
+	img.Fill(0.9)
+	tr.Apply(img)
+	for i := 0; i < 2; i++ {
+		for ch := 0; ch < 3; ch++ {
+			for y := 0; y < 32; y++ {
+				for x := 0; x < 32; x++ {
+					v := img.At(i, ch, y, x)
+					if tr.InMask(y, x) {
+						if v != 0.5 {
+							t.Fatalf("mask pixel (%d,%d) = %v, want 0.5", y, x, v)
+						}
+					} else if v != 0.9 {
+						t.Fatalf("outside pixel (%d,%d) = %v, want 0.9", y, x, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTriggerApplyClamps(t *testing.T) {
+	tr := NewSquareTrigger(1, 8, 8, 2)
+	tr.Pattern.Fill(3)
+	img := tensor.New(1, 1, 8, 8)
+	tr.Apply(img)
+	if got := img.At(0, 0, 7, 7); got != 1 {
+		t.Fatalf("clamped pixel = %v, want 1", got)
+	}
+}
+
+func TestTriggerFGSMRespectsMaskAndRange(t *testing.T) {
+	tr := NewSquareTrigger(1, 8, 8, 3)
+	tr.Pattern.Fill(0.5)
+	grad := tensor.New(1, 8, 8)
+	grad.Fill(1)
+	tr.UpdateFGSM(grad, 0.1)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			v := tr.Pattern.At(0, y, x)
+			if tr.InMask(y, x) {
+				if v != 0.6 {
+					t.Fatalf("mask pattern (%d,%d) = %v, want 0.6", y, x, v)
+				}
+			} else if v != 0.5 {
+				t.Fatalf("unmasked pattern mutated at (%d,%d)", y, x)
+			}
+		}
+	}
+	// Repeated steps must clamp at 1.
+	for i := 0; i < 10; i++ {
+		tr.UpdateFGSM(grad, 0.1)
+	}
+	if got := tr.Pattern.At(0, 7, 7); got != 1 {
+		t.Fatalf("pattern should clamp at 1, got %v", got)
+	}
+}
+
+func TestMaskedGradSum(t *testing.T) {
+	tr := NewSquareTrigger(2, 4, 4, 2)
+	g := tensor.New(3, 2, 4, 4)
+	g.Fill(1)
+	sum := tr.MaskedGradSum(g)
+	if sum.At(0, 0, 0) != 3 {
+		t.Fatalf("grad sum = %v, want 3 (batch size)", sum.At(0, 0, 0))
+	}
+}
+
+func TestTriggerClone(t *testing.T) {
+	tr := NewSquareTrigger(1, 8, 8, 2)
+	tr.Pattern.Fill(0.3)
+	cl := tr.Clone()
+	cl.Pattern.Fill(0.7)
+	if tr.Pattern.At(0, 7, 7) != 0.3 {
+		t.Fatal("Clone shares pattern storage")
+	}
+}
+
+func TestBatchesRejectsBadSize(t *testing.T) {
+	ds := Synthesize(SynthCIFAR(10, 1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ds.Batches(0)
+}

@@ -1,0 +1,101 @@
+package data
+
+import (
+	"math"
+
+	"rowhammer/internal/tensor"
+)
+
+// SynthConfig parameterizes the synthetic task generator.
+type SynthConfig struct {
+	// Classes is the number of classes (10 for the CIFAR-10 stand-in,
+	// 100 for the ImageNet stand-in).
+	Classes int
+	// Samples is the total number of images to draw.
+	Samples int
+	// H, W are the spatial dimensions (channels are fixed at 3).
+	H, W int
+	// Noise is the per-pixel Gaussian noise standard deviation; it
+	// controls task difficulty.
+	Noise float64
+	// Seed makes the task deterministic. The same seed always yields the
+	// same class prototypes, so a train set and a test set drawn with
+	// different sample seeds share one underlying task.
+	Seed int64
+}
+
+// taskPrototypes builds one smooth random prototype image per class:
+// a base color plus a handful of Gaussian bumps per channel.
+func taskPrototypes(cfg SynthConfig) []*tensor.Tensor {
+	rng := tensor.NewRNG(cfg.Seed)
+	protos := make([]*tensor.Tensor, cfg.Classes)
+	for cl := 0; cl < cfg.Classes; cl++ {
+		p := tensor.New(3, cfg.H, cfg.W)
+		d := p.Data()
+		for ch := 0; ch < 3; ch++ {
+			base := float32(0.25 + 0.5*rng.Float64())
+			for y := 0; y < cfg.H; y++ {
+				for x := 0; x < cfg.W; x++ {
+					d[(ch*cfg.H+y)*cfg.W+x] = base
+				}
+			}
+			bumps := 3 + rng.Intn(3)
+			for b := 0; b < bumps; b++ {
+				cx := rng.Float64() * float64(cfg.W)
+				cy := rng.Float64() * float64(cfg.H)
+				amp := (rng.Float64()*2 - 1) * 0.6
+				sigma := 2 + rng.Float64()*6
+				for y := 0; y < cfg.H; y++ {
+					for x := 0; x < cfg.W; x++ {
+						dx := (float64(x) - cx) / sigma
+						dy := (float64(y) - cy) / sigma
+						d[(ch*cfg.H+y)*cfg.W+x] += float32(amp * math.Exp(-(dx*dx+dy*dy)/2))
+					}
+				}
+			}
+		}
+		p.Clamp(0, 1)
+		protos[cl] = p
+	}
+	return protos
+}
+
+// Synthesize draws a dataset from the task defined by cfg.Seed. The
+// sampleSeed decorrelates the drawn samples, so train and test splits
+// use the same cfg (same task) with different sampleSeeds.
+func Synthesize(cfg SynthConfig, sampleSeed int64) *Dataset {
+	protos := taskPrototypes(cfg)
+	rng := tensor.NewRNG(sampleSeed)
+	imgs := tensor.New(cfg.Samples, 3, cfg.H, cfg.W)
+	labels := make([]int, cfg.Samples)
+	pix := 3 * cfg.H * cfg.W
+	for i := 0; i < cfg.Samples; i++ {
+		cl := i % cfg.Classes // balanced classes
+		labels[i] = cl
+		dst := imgs.Data()[i*pix : (i+1)*pix]
+		src := protos[cl].Data()
+		gain := float32(0.85 + 0.3*rng.Float64()) // brightness jitter
+		for j := range dst {
+			v := src[j]*gain + float32(rng.NormFloat64()*cfg.Noise)
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			dst[j] = v
+		}
+	}
+	return &Dataset{Images: imgs, Labels: labels, Classes: cfg.Classes}
+}
+
+// SynthCIFAR returns the default CIFAR-10 stand-in configuration.
+func SynthCIFAR(samples int, seed int64) SynthConfig {
+	return SynthConfig{Classes: 10, Samples: samples, H: 32, W: 32, Noise: 0.12, Seed: seed}
+}
+
+// SynthImageNet returns the default ImageNet stand-in configuration
+// (100 classes at 32×32; the paper's 1000-class 224×224 task is out of
+// reach for a CPU-only reproduction, see DESIGN.md).
+func SynthImageNet(samples int, seed int64) SynthConfig {
+	return SynthConfig{Classes: 100, Samples: samples, H: 32, W: 32, Noise: 0.10, Seed: seed}
+}

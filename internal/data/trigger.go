@@ -1,0 +1,105 @@
+package data
+
+import "rowhammer/internal/tensor"
+
+// Trigger is the backdoor input perturbation Δx: a pattern confined to a
+// rectangular mask (the paper initializes a black square at the bottom
+// right). Apply stamps the pattern onto images; the attack's FGSM step
+// mutates Pattern in place (subject to the mask).
+type Trigger struct {
+	// Pattern is (C, H, W); only entries inside the mask are used.
+	Pattern *tensor.Tensor
+	// X0, Y0 are the top-left corner of the mask; Size is the square
+	// mask's edge length.
+	X0, Y0, Size int
+}
+
+// NewSquareTrigger builds the paper's initial trigger: a size×size
+// square at the bottom-right corner, initialized to black (pattern value
+// 0 replaces the pixels under the mask).
+func NewSquareTrigger(c, h, w, size int) *Trigger {
+	return &Trigger{
+		Pattern: tensor.New(c, h, w),
+		X0:      w - size,
+		Y0:      h - size,
+		Size:    size,
+	}
+}
+
+// InMask reports whether pixel (y, x) lies inside the trigger mask.
+func (t *Trigger) InMask(y, x int) bool {
+	return y >= t.Y0 && y < t.Y0+t.Size && x >= t.X0 && x < t.X0+t.Size
+}
+
+// Apply overwrites the masked region of every image in the batch with
+// the trigger pattern, clamping to [0, 1]. Images is (N, C, H, W) and is
+// modified in place.
+func (t *Trigger) Apply(images *tensor.Tensor) {
+	n, c, h, w := images.Dim(0), images.Dim(1), images.Dim(2), images.Dim(3)
+	d := images.Data()
+	pd := t.Pattern.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			for y := t.Y0; y < t.Y0+t.Size && y < h; y++ {
+				for x := t.X0; x < t.X0+t.Size && x < w; x++ {
+					idx := ((i*c+ch)*h+y)*w + x
+					v := pd[(ch*h+y)*w+x]
+					if v < 0 {
+						v = 0
+					} else if v > 1 {
+						v = 1
+					}
+					d[idx] = v
+				}
+			}
+		}
+	}
+}
+
+// UpdateFGSM performs one Fast Gradient Sign Method step on the trigger
+// pattern (Eq. 4): Δx ← Δx + ε·sgn(∇Δx F), restricted to the mask and
+// clamped to valid pixel range.
+func (t *Trigger) UpdateFGSM(grad *tensor.Tensor, eps float32) {
+	c, h, w := t.Pattern.Dim(0), t.Pattern.Dim(1), t.Pattern.Dim(2)
+	pd, gd := t.Pattern.Data(), grad.Data()
+	for ch := 0; ch < c; ch++ {
+		for y := t.Y0; y < t.Y0+t.Size && y < h; y++ {
+			for x := t.X0; x < t.X0+t.Size && x < w; x++ {
+				i := (ch*h+y)*w + x
+				g := gd[i]
+				switch {
+				case g > 0:
+					pd[i] += eps
+				case g < 0:
+					pd[i] -= eps
+				}
+				if pd[i] < 0 {
+					pd[i] = 0
+				} else if pd[i] > 1 {
+					pd[i] = 1
+				}
+			}
+		}
+	}
+}
+
+// MaskedGradSum reduces a batch input gradient (N, C, H, W) to a single
+// (C, H, W) gradient over the trigger pattern by summing across the
+// batch (pixels under the mask are shared by every sample).
+func (t *Trigger) MaskedGradSum(batchGrad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := batchGrad.Dim(0), batchGrad.Dim(1), batchGrad.Dim(2), batchGrad.Dim(3)
+	out := tensor.New(c, h, w)
+	bd, od := batchGrad.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		base := i * c * h * w
+		for j := range od {
+			od[j] += bd[base+j]
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the trigger.
+func (t *Trigger) Clone() *Trigger {
+	return &Trigger{Pattern: t.Pattern.Clone(), X0: t.X0, Y0: t.Y0, Size: t.Size}
+}

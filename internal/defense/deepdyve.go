@@ -1,0 +1,111 @@
+package defense
+
+import (
+	"rowhammer/internal/data"
+	"rowhammer/internal/nn"
+	"rowhammer/internal/tensor"
+)
+
+// DeepDyve is the dynamic-verification detector of Li et al.: a small
+// checker model runs alongside the protected model; when they disagree,
+// the inference is repeated and the second result accepted. The scheme
+// assumes faults are transient — an assumption Rowhammer corruption
+// violates, because the flipped bits persist in the page cache across
+// queries, so the repeated inference is served by the same backdoored
+// weights (§VI-B).
+type DeepDyve struct {
+	// Main is the protected (possibly backdoored) model.
+	Main *nn.Model
+	// Checker is the small verification model.
+	Checker *nn.Model
+}
+
+// InferResult reports a DeepDyve-protected inference.
+type InferResult struct {
+	// Pred is the accepted prediction.
+	Pred int
+	// Alarmed is true when the checker disagreed and a re-run happened.
+	Alarmed bool
+	// Recovered is true when the re-run changed the prediction (only
+	// possible for transient faults).
+	Recovered bool
+}
+
+// Infer runs the DeepDyve protocol on a batch and returns per-sample
+// results.
+func (d *DeepDyve) Infer(images *tensor.Tensor) []InferResult {
+	mainPreds := d.Main.Predict(images)
+	checkPreds := d.Checker.Predict(images)
+	out := make([]InferResult, len(mainPreds))
+	var rerun []int
+	for i := range mainPreds {
+		out[i].Pred = mainPreds[i]
+		if mainPreds[i] != checkPreds[i] {
+			out[i].Alarmed = true
+			rerun = append(rerun, i)
+		}
+	}
+	if len(rerun) > 0 {
+		// Repeat the inference on the main model. The weights have not
+		// changed (persistent corruption), so this reproduces the first
+		// answer.
+		second := d.Main.Predict(images)
+		for _, i := range rerun {
+			if second[i] != out[i].Pred {
+				out[i].Recovered = true
+				out[i].Pred = second[i]
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate runs the protocol over a dataset with the trigger applied
+// and reports how often the backdoor succeeds despite the defense.
+type DeepDyveReport struct {
+	// AlarmRate is the fraction of triggered samples the checker
+	// flagged.
+	AlarmRate float64
+	// ASRDespiteDefense is the fraction of non-target triggered
+	// samples still classified as the target after the protocol.
+	ASRDespiteDefense float64
+	// RecoveredRate is the fraction of alarms whose re-run changed the
+	// outcome (zero for persistent faults).
+	RecoveredRate float64
+}
+
+// EvaluateDeepDyve measures the defense against a triggered dataset.
+func EvaluateDeepDyve(d *DeepDyve, ds *data.Dataset, trigger *data.Trigger, target int) DeepDyveReport {
+	var rep DeepDyveReport
+	alarms, recovered, hits, total := 0, 0, 0, 0
+	for _, b := range ds.Batches(64) {
+		trigger.Apply(b.Images)
+		results := d.Infer(b.Images)
+		for i, r := range results {
+			if r.Alarmed {
+				alarms++
+				if r.Recovered {
+					recovered++
+				}
+			}
+			if b.Labels[i] == target {
+				continue
+			}
+			total++
+			if r.Pred == target {
+				hits++
+			}
+		}
+	}
+	n := float64(ds.Len())
+	if n > 0 {
+		rep.AlarmRate = float64(alarms) / n
+	}
+	if alarms > 0 {
+		rep.RecoveredRate = float64(recovered) / float64(alarms)
+	}
+	if total > 0 {
+		rep.ASRDespiteDefense = float64(hits) / float64(total)
+	}
+	return rep
+}

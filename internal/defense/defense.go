@@ -1,0 +1,55 @@
+// Package defense implements the countermeasures the paper evaluates in
+// §VI — prevention (binarization-aware training, piecewise weight
+// clustering), detection (DeepDyve, weight encoding, RADAR, a
+// SentiNet-style saliency filter) and recovery (weight reconstruction)
+// — along with the adaptive attacker variants that bypass them.
+package defense
+
+import (
+	"rowhammer/internal/nn"
+	"rowhammer/internal/quant"
+)
+
+// BinarizationInfo summarizes why binarization-aware training blocks
+// the attack: a binarized model's weight footprint shrinks by 8×, so
+// the number of occupied memory pages — the hard upper bound on N_flip
+// under the one-flip-per-page constraint — becomes too small to encode
+// a backdoor.
+type BinarizationInfo struct {
+	// FullPrecisionPages is the page count of the int8 deployment.
+	FullPrecisionPages int
+	// BinarizedPages is the page count when convolution weights are
+	// 1-bit (batch norm and the classifier stay 8-bit).
+	BinarizedPages int
+	// MaxNFlip is the attack's flip budget against the binarized model.
+	MaxNFlip int
+}
+
+// AnalyzeBinarization computes the footprint shrinkage for a model
+// whose convolution weights binarize. binConvParams is the number of
+// scalar weights that become single bits.
+func AnalyzeBinarization(m *nn.Model, binConvParams int) BinarizationInfo {
+	total := m.NumParams()
+	fullPages := (total + quant.PageSize - 1) / quant.PageSize
+	// Binarized convs store 1 bit per weight (plus one α scale per
+	// filter, negligible); everything else stays one byte.
+	binBytes := (total - binConvParams) + (binConvParams+7)/8
+	binPages := (binBytes + quant.PageSize - 1) / quant.PageSize
+	return BinarizationInfo{
+		FullPrecisionPages: fullPages,
+		BinarizedPages:     binPages,
+		MaxNFlip:           binPages,
+	}
+}
+
+// CountBinarizableParams sums the weights of every binarization-aware
+// convolution in the graph.
+func CountBinarizableParams(root nn.Layer, isBinConv func(nn.Layer) (int, bool)) int {
+	total := 0
+	nn.Walk(root, func(l nn.Layer) {
+		if n, ok := isBinConv(l); ok {
+			total += n
+		}
+	})
+	return total
+}

@@ -1,0 +1,94 @@
+package defense
+
+import (
+	"time"
+
+	"rowhammer/internal/tensor"
+)
+
+// WeightEncoder is the concurrent weight-encoding detector of Liu et
+// al.: the deployed weights are projected through a random binary
+// matrix into short signatures that are recomputed and compared at run
+// time. Verifying all N weights costs O(N²) multiply-accumulates, which
+// is why the original proposal protects only the most sensitive layers
+// — and why an attack that can target *any* layer (like CFT+BR) either
+// escapes the protected region or forces a prohibitive overhead
+// (§VI-B).
+type WeightEncoder struct {
+	// K is the random projection matrix (N × M signs).
+	K [][]int8
+	// M is the signature length.
+	M   int
+	sig []int64
+}
+
+// NewWeightEncoder builds an encoder for n weights with signature
+// length m.
+func NewWeightEncoder(n, m int, seed int64) *WeightEncoder {
+	rng := tensor.NewRNG(seed)
+	k := make([][]int8, n)
+	for i := range k {
+		row := make([]int8, m)
+		for j := range row {
+			if rng.Float64() < 0.5 {
+				row[j] = 1
+			} else {
+				row[j] = -1
+			}
+		}
+		k[i] = row
+	}
+	return &WeightEncoder{K: k, M: m}
+}
+
+// Encode computes and stores the reference signature of the weight
+// codes.
+func (e *WeightEncoder) Encode(codes []int8) {
+	e.sig = e.project(codes)
+}
+
+func (e *WeightEncoder) project(codes []int8) []int64 {
+	sig := make([]int64, e.M)
+	for i, c := range codes {
+		if i >= len(e.K) {
+			break
+		}
+		row := e.K[i]
+		ci := int64(c)
+		for j := range row {
+			sig[j] += ci * int64(row[j])
+		}
+	}
+	return sig
+}
+
+// Verify recomputes the signature and reports whether it matches,
+// along with the wall-clock cost of the check.
+func (e *WeightEncoder) Verify(codes []int8) (ok bool, elapsed time.Duration) {
+	start := time.Now()
+	sig := e.project(codes)
+	elapsed = time.Since(start)
+	for j := range sig {
+		if sig[j] != e.sig[j] {
+			return false, elapsed
+		}
+	}
+	return true, elapsed
+}
+
+// StorageOverheadBytes returns the extra bytes the defense stores: the
+// projection matrix (1 bit per entry) plus the signature.
+func (e *WeightEncoder) StorageOverheadBytes() int {
+	matrixBits := len(e.K) * e.M
+	return matrixBits/8 + e.M*8
+}
+
+// EstimateEncodingOverhead extrapolates the paper's §VI-B analysis: the
+// verification time for n weights given a measured per-weight-per-
+// signature cost, and the storage ratio versus the n-byte weight file.
+func EstimateEncodingOverhead(n, m int, perMAC time.Duration) (verify time.Duration, storageRatio float64) {
+	verify = time.Duration(int64(n) * int64(m) * int64(perMAC))
+	matrixBytes := float64(n*m) / 8
+	storageRatio = (matrixBytes + float64(m*8)) / float64(n)
+	return verify, storageRatio
+}

@@ -1,0 +1,78 @@
+package defense
+
+import "time"
+
+// RADAR is the checksum-based runtime detector of Li et al.: weights
+// are split into fixed groups and a checksum of each group's most
+// significant bits is stored at deployment and re-validated at
+// inference time. An MSB flip changes its group's checksum and is
+// detected; an attacker who constrains Bit Reduction to avoid the
+// protected bit positions (Config.ForbiddenBitMask in package core)
+// bypasses the scheme entirely (§VI-B).
+type RADAR struct {
+	// GroupSize is the number of weights per checksum group.
+	GroupSize int
+	// ProtectedMask selects the bit positions covered by the checksum
+	// (0x80 = MSB only, the paper's configuration; 0xFF = every bit).
+	ProtectedMask byte
+
+	sums []uint32
+}
+
+// NewRADAR builds a detector with the given group size and protected
+// bit mask.
+func NewRADAR(groupSize int, protectedMask byte) *RADAR {
+	if groupSize <= 0 {
+		groupSize = 512
+	}
+	return &RADAR{GroupSize: groupSize, ProtectedMask: protectedMask}
+}
+
+// checksum folds the protected bits of a group into a 32-bit value
+// (simple rotating XOR — collision-resistant enough for single flips).
+func (r *RADAR) checksum(codes []int8) uint32 {
+	var sum uint32
+	for i, c := range codes {
+		v := uint32(byte(c) & r.ProtectedMask)
+		rot := uint(i % 24)
+		sum ^= v << rot
+	}
+	return sum
+}
+
+// Snapshot stores the reference checksums of the clean weight file.
+func (r *RADAR) Snapshot(codes []int8) {
+	n := (len(codes) + r.GroupSize - 1) / r.GroupSize
+	r.sums = make([]uint32, n)
+	for g := 0; g < n; g++ {
+		lo := g * r.GroupSize
+		hi := lo + r.GroupSize
+		if hi > len(codes) {
+			hi = len(codes)
+		}
+		r.sums[g] = r.checksum(codes[lo:hi])
+	}
+}
+
+// Check validates the current weight file against the snapshot and
+// returns the indices of mismatching groups plus the scan cost.
+func (r *RADAR) Check(codes []int8) (badGroups []int, elapsed time.Duration) {
+	start := time.Now()
+	for g := range r.sums {
+		lo := g * r.GroupSize
+		hi := lo + r.GroupSize
+		if hi > len(codes) {
+			hi = len(codes)
+		}
+		if r.checksum(codes[lo:hi]) != r.sums[g] {
+			badGroups = append(badGroups, g)
+		}
+	}
+	return badGroups, time.Since(start)
+}
+
+// Detected reports whether any group mismatches.
+func (r *RADAR) Detected(codes []int8) bool {
+	bad, _ := r.Check(codes)
+	return len(bad) > 0
+}

@@ -1,0 +1,133 @@
+package defense
+
+import "rowhammer/internal/nn"
+
+// Reconstructor is the weight-reconstruction recovery of Li et al.
+// (DAC'20): at deployment, per-group weight statistics (sums and
+// magnitude bounds) are stored; after a suspected fault, each group's
+// deviation from its recorded sum is repaired. A bit flip typically
+// drives one weight far outside the group's recorded magnitude range —
+// that outlier absorbs the whole correction (the flip is effectively
+// undone); deviations with no identifiable outlier are spread evenly
+// over the group, diluting their effect. A naive attacker's ASR
+// collapses; an attacker *aware* of the defense optimizes its flips
+// under the reconstruction transform (core.Config.WrapLoss) so the
+// surviving flips stay inside the recorded ranges, and retains a high
+// ASR (§VI-C).
+type Reconstructor struct {
+	// GroupSize is the number of consecutive weights per statistics
+	// group (within one tensor).
+	GroupSize int
+
+	sums    [][]float32 // per tensor: per group recorded sum
+	maxAbss [][]float32 // per tensor: per group recorded max |w|
+}
+
+// NewReconstructor snapshots the clean model's per-group statistics.
+func NewReconstructor(m *nn.Model, groupSize int) *Reconstructor {
+	if groupSize <= 0 {
+		groupSize = 64
+	}
+	r := &Reconstructor{GroupSize: groupSize}
+	for _, p := range m.Params() {
+		w := p.W.Data()
+		n := (len(w) + groupSize - 1) / groupSize
+		sums := make([]float32, n)
+		maxs := make([]float32, n)
+		for g := 0; g < n; g++ {
+			lo, hi := g*groupSize, (g+1)*groupSize
+			if hi > len(w) {
+				hi = len(w)
+			}
+			var s float64
+			var mx float32
+			for _, v := range w[lo:hi] {
+				s += float64(v)
+				a := v
+				if a < 0 {
+					a = -a
+				}
+				if a > mx {
+					mx = a
+				}
+			}
+			sums[g] = float32(s)
+			maxs[g] = mx
+		}
+		r.sums = append(r.sums, sums)
+		r.maxAbss = append(r.maxAbss, maxs)
+	}
+	return r
+}
+
+// Apply reconstructs the model in place and returns an undo closure
+// restoring the pre-reconstruction weights (used by the adaptive
+// attacker's loss wrapper).
+func (r *Reconstructor) Apply(m *nn.Model) (undo func()) {
+	type patch struct {
+		data  []float32
+		saved []float32
+	}
+	var patches []patch
+	for pi, p := range m.Params() {
+		w := p.W.Data()
+		saved := append([]float32(nil), w...)
+		patches = append(patches, patch{data: w, saved: saved})
+		sums := r.sums[pi]
+		maxs := r.maxAbss[pi]
+		for g := range sums {
+			lo, hi := g*r.GroupSize, (g+1)*r.GroupSize
+			if hi > len(w) {
+				hi = len(w)
+			}
+			var s float64
+			for _, v := range w[lo:hi] {
+				s += float64(v)
+			}
+			dev := float32(s) - sums[g]
+			if dev == 0 {
+				continue
+			}
+			// Outlier search: the weight furthest beyond the recorded
+			// magnitude bound (with 5% slack for quantization noise).
+			bound := maxs[g] * 1.05
+			outlier, excess := -1, float32(0)
+			for i := lo; i < hi; i++ {
+				a := w[i]
+				if a < 0 {
+					a = -a
+				}
+				if a > bound && a-bound > excess {
+					outlier, excess = i, a-bound
+				}
+			}
+			if outlier >= 0 {
+				// The fault is localized: pull the outlier back so the
+				// group sum matches the recorded value.
+				w[outlier] -= dev
+				continue
+			}
+			// No identifiable outlier: dilute evenly.
+			adj := dev / float32(hi-lo)
+			for i := lo; i < hi; i++ {
+				w[i] -= adj
+			}
+		}
+	}
+	return func() {
+		for _, p := range patches {
+			copy(p.data, p.saved)
+		}
+	}
+}
+
+// WrapLossWith returns a core.Config.WrapLoss-compatible closure that
+// evaluates losses under reconstruction — the defense-aware attacker's
+// hook.
+func (r *Reconstructor) WrapLossWith(m *nn.Model) func(eval func() float32) float32 {
+	return func(eval func() float32) float32 {
+		undo := r.Apply(m)
+		defer undo()
+		return eval()
+	}
+}

@@ -1,0 +1,118 @@
+package dram
+
+import "sort"
+
+// DDRType distinguishes the two DRAM generations the paper profiles.
+type DDRType int
+
+// DRAM generations.
+const (
+	DDR3 DDRType = iota + 1
+	DDR4
+)
+
+// String implements fmt.Stringer.
+func (t DDRType) String() string {
+	switch t {
+	case DDR3:
+		return "DDR3"
+	case DDR4:
+		return "DDR4"
+	default:
+		return "unknown"
+	}
+}
+
+// DeviceProfile captures the Rowhammer susceptibility of one DRAM
+// device: the average number of vulnerable cells per 4 KB OS page
+// (Table I) and the generation, which determines whether TRR mitigation
+// applies.
+type DeviceProfile struct {
+	// Name tags the brand/model (the paper's anonymized labels).
+	Name string
+	// Type is the DRAM generation.
+	Type DDRType
+	// FlipsPerPage is the average number of vulnerable cells per 4 KB
+	// page, as measured (DDR3: double-sided profiles from prior work;
+	// DDR4: the paper's n-sided profiling).
+	FlipsPerPage float64
+	// TRRSamplerSize is how many simultaneous aggressors the in-DRAM
+	// TRR mitigation can track (0 disables TRR; DDR4 devices use 2).
+	TRRSamplerSize int
+}
+
+// CellDensity returns the probability that any single bit is a
+// vulnerable cell.
+func (p DeviceProfile) CellDensity() float64 {
+	return p.FlipsPerPage / float64(OSPageBytes*8)
+}
+
+// TableIProfiles reproduces Table I: the average flips per page for the
+// 14 DDR3 and 6 DDR4 chips.
+func TableIProfiles() []DeviceProfile {
+	ddr3 := []struct {
+		name string
+		fpp  float64
+	}{
+		{"A1", 12.48}, {"A2", 1.92}, {"A3", 1.11}, {"A4", 15.85},
+		{"B1", 1.05}, {"C1", 1.60}, {"D1", 1.08}, {"E1", 12.46},
+		{"E2", 2.02}, {"F1", 28.77}, {"G1", 1.62}, {"H1", 1.66},
+		{"I1", 8.28}, {"J1", 1.25},
+	}
+	ddr4 := []struct {
+		name string
+		fpp  float64
+	}{
+		{"K1", 100.68}, {"K2", 109.48}, {"L1", 3.12},
+		{"L2", 13.98}, {"M1", 2.04}, {"N1", 2.72},
+	}
+	out := make([]DeviceProfile, 0, len(ddr3)+len(ddr4))
+	for _, d := range ddr3 {
+		out = append(out, DeviceProfile{Name: d.name, Type: DDR3, FlipsPerPage: d.fpp})
+	}
+	for _, d := range ddr4 {
+		out = append(out, DeviceProfile{Name: d.name, Type: DDR4, FlipsPerPage: d.fpp, TRRSamplerSize: 2})
+	}
+	return out
+}
+
+// ProfileByName finds a Table I profile; ok is false for unknown names.
+func ProfileByName(name string) (DeviceProfile, bool) {
+	for _, p := range TableIProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return DeviceProfile{}, false
+}
+
+// ProfileNames lists the Table I device names sorted DDR3-first then
+// alphabetically within generation.
+func ProfileNames() []string {
+	ps := TableIProfiles()
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Type != ps[j].Type {
+			return ps[i].Type < ps[j].Type
+		}
+		return ps[i].Name < ps[j].Name
+	})
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// PaperDDR3 is the profile of the DDR3 module the paper's own profiling
+// used (2 GB M378B5773DH0-CH9): 381,962 flips in a 128 MB buffer ≈ 11.66
+// flips per 4 KB page (0.036% of cells).
+func PaperDDR3() DeviceProfile {
+	return DeviceProfile{Name: "M378B5773DH0", Type: DDR3, FlipsPerPage: 11.66}
+}
+
+// PaperDDR4 is the profile of the paper's DDR4 module
+// (CMU64GX4M4C3200C16) with TRR, modeled after the mid-range Table I
+// DDR4 devices.
+func PaperDDR4() DeviceProfile {
+	return DeviceProfile{Name: "CMU64GX4M4C3200C16", Type: DDR4, FlipsPerPage: 13.98, TRRSamplerSize: 2}
+}

@@ -1,0 +1,390 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidate(t *testing.T) {
+	if err := (Geometry{Banks: 16, RowsPerBank: 10}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Geometry{Banks: 12, RowsPerBank: 10}).Validate(); err == nil {
+		t.Fatal("non-power-of-two banks must fail")
+	}
+	if err := (Geometry{Banks: 16, RowsPerBank: 0}).Validate(); err == nil {
+		t.Fatal("zero rows must fail")
+	}
+}
+
+func TestAddrLocRoundTrip(t *testing.T) {
+	g := Geometry{Banks: 16, RowsPerBank: 64}
+	f := func(a uint32) bool {
+		addr := int(a) % g.Size()
+		l := g.LocOf(addr)
+		if l.Bank < 0 || l.Bank >= g.Banks || l.Row < 0 || l.Row >= g.RowsPerBank {
+			return false
+		}
+		return g.AddrOf(l) == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutiveChunksChangeBank(t *testing.T) {
+	g := Geometry{Banks: 16, RowsPerBank: 64}
+	for chunk := 0; chunk < 64; chunk++ {
+		l1 := g.LocOf(chunk * RowBytes)
+		l2 := g.LocOf((chunk + 1) * RowBytes)
+		if l1.Bank == l2.Bank && l1.Row == l2.Row {
+			t.Fatalf("chunks %d and %d map to same bank+row", chunk, chunk+1)
+		}
+	}
+}
+
+func TestWithinRowSameBankRow(t *testing.T) {
+	g := Geometry{Banks: 16, RowsPerBank: 64}
+	base := 5 * RowBytes
+	l0 := g.LocOf(base)
+	for off := 1; off < RowBytes; off += 777 {
+		l := g.LocOf(base + off)
+		if l.Bank != l0.Bank || l.Row != l0.Row {
+			t.Fatal("addresses within one row chunk must share bank and row")
+		}
+		if l.Col != off {
+			t.Fatalf("col = %d, want %d", l.Col, off)
+		}
+	}
+}
+
+func TestTableIProfilesComplete(t *testing.T) {
+	ps := TableIProfiles()
+	if len(ps) != 20 {
+		t.Fatalf("Table I has %d profiles, want 20", len(ps))
+	}
+	d3, d4 := 0, 0
+	for _, p := range ps {
+		switch p.Type {
+		case DDR3:
+			d3++
+			if p.TRRSamplerSize != 0 {
+				t.Fatalf("DDR3 chip %s must not have TRR", p.Name)
+			}
+		case DDR4:
+			d4++
+			if p.TRRSamplerSize == 0 {
+				t.Fatalf("DDR4 chip %s must have TRR", p.Name)
+			}
+		}
+	}
+	if d3 != 14 || d4 != 6 {
+		t.Fatalf("got %d DDR3 + %d DDR4, want 14 + 6", d3, d4)
+	}
+	if p, ok := ProfileByName("K1"); !ok || p.FlipsPerPage != 100.68 {
+		t.Fatalf("K1 lookup: %+v %v", p, ok)
+	}
+	if _, ok := ProfileByName("Z9"); ok {
+		t.Fatal("unknown profile must not resolve")
+	}
+	if len(ProfileNames()) != 20 {
+		t.Fatal("ProfileNames incomplete")
+	}
+}
+
+func TestCellDensityMatchesPaperSparsity(t *testing.T) {
+	// The paper: 0.036% of cells in the profiled 128 MB DDR3 buffer.
+	d := PaperDDR3().CellDensity()
+	if math.Abs(d-0.00036)/0.00036 > 0.05 {
+		t.Fatalf("density = %v, want ≈0.036%%", d)
+	}
+}
+
+func newTestModule(t *testing.T, profile DeviceProfile) *Module {
+	t.Helper()
+	m, err := NewModule(Geometry{Banks: 16, RowsPerBank: 128}, profile, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReadWrite(t *testing.T) {
+	m := newTestModule(t, PaperDDR3())
+	m.Write(12345, 0xAB)
+	if m.Read(12345) != 0xAB {
+		t.Fatal("read after write failed")
+	}
+	m.WriteRange(100, []byte{1, 2, 3})
+	if got := m.ReadRange(100, 3); got[2] != 3 {
+		t.Fatalf("range round trip: %v", got)
+	}
+}
+
+func TestWeakCellsDeterministicAndSparse(t *testing.T) {
+	m1 := newTestModule(t, PaperDDR3())
+	m2 := newTestModule(t, PaperDDR3())
+	total := 0
+	rows := 0
+	for bank := 0; bank < 4; bank++ {
+		for row := 0; row < 64; row++ {
+			a := m1.weakCells(bank, row)
+			b := m2.weakCells(bank, row)
+			if len(a) != len(b) {
+				t.Fatal("weak cells not deterministic")
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatal("weak cells not deterministic")
+				}
+			}
+			total += len(a)
+			rows++
+		}
+	}
+	avgPerPage := float64(total) / float64(rows*2)
+	if math.Abs(avgPerPage-11.66)/11.66 > 0.25 {
+		t.Fatalf("avg weak cells per page %.2f, want ≈11.66", avgPerPage)
+	}
+}
+
+func TestDifferentSeedsGiveDifferentCells(t *testing.T) {
+	a, _ := NewModule(Geometry{Banks: 16, RowsPerBank: 64}, PaperDDR3(), 1)
+	b, _ := NewModule(Geometry{Banks: 16, RowsPerBank: 64}, PaperDDR3(), 2)
+	same := true
+	for row := 0; row < 32 && same; row++ {
+		ca, cb := a.weakCells(0, row), b.weakCells(0, row)
+		if len(ca) != len(cb) {
+			same = false
+			break
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different cell layouts")
+	}
+}
+
+func TestDoubleSidedFlipsMatchDirections(t *testing.T) {
+	m := newTestModule(t, DeviceProfile{Name: "hot", Type: DDR3, FlipsPerPage: 200})
+	bank, victim := 2, 10
+	// All-zero victim: only 0→1 cells can fire.
+	m.FillRow(bank, victim, 0x00)
+	events, err := m.HammerDoubleSided(bank, victim, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("hot device with full hammer must flip")
+	}
+	for _, e := range events {
+		if e.Dir != ZeroToOne {
+			t.Fatalf("all-zero row flipped %v", e.Dir)
+		}
+		if m.Read(e.Addr)&(1<<e.Bit) == 0 {
+			t.Fatal("event reported but memory unchanged")
+		}
+	}
+	// All-ones: only 1→0.
+	m.FillRow(bank, victim, 0xFF)
+	events, err = m.HammerDoubleSided(bank, victim, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Dir != OneToZero {
+			t.Fatalf("all-ones row flipped %v", e.Dir)
+		}
+	}
+}
+
+func TestHammerIsIdempotentOnFlippedCells(t *testing.T) {
+	m := newTestModule(t, DeviceProfile{Name: "hot", Type: DDR3, FlipsPerPage: 200})
+	bank, victim := 1, 20
+	m.FillRow(bank, victim, 0x00)
+	first, _ := m.HammerDoubleSided(bank, victim, 1)
+	second, _ := m.HammerDoubleSided(bank, victim, 1)
+	if len(first) == 0 {
+		t.Fatal("no flips on first hammer")
+	}
+	if len(second) != 0 {
+		t.Fatalf("second hammer re-flipped %d already-flipped cells", len(second))
+	}
+}
+
+func TestTRRBlocksDoubleSidedOnDDR4(t *testing.T) {
+	m := newTestModule(t, DeviceProfile{Name: "d4", Type: DDR4, FlipsPerPage: 200, TRRSamplerSize: 2})
+	m.FillRow(0, 10, 0x00)
+	events, err := m.HammerDoubleSided(0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("TRR should block double-sided, got %d flips", len(events))
+	}
+}
+
+func TestNSidedBypassesTRR(t *testing.T) {
+	m := newTestModule(t, DeviceProfile{Name: "d4", Type: DDR4, FlipsPerPage: 300, TRRSamplerSize: 2})
+	for row := 0; row < 40; row++ {
+		m.FillRow(0, row, 0x00)
+	}
+	events, err := m.HammerNSided(0, 2, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("7-sided must produce flips on DDR4")
+	}
+}
+
+func TestMoreSidesMoreFlips(t *testing.T) {
+	profile := DeviceProfile{Name: "d4", Type: DDR4, FlipsPerPage: 300, TRRSamplerSize: 2}
+	count := func(sides int) int {
+		m, err := NewModule(Geometry{Banks: 16, RowsPerBank: 128}, profile, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for row := 0; row < 128; row++ {
+			m.FillRow(0, row, 0x00)
+		}
+		ev, err := m.HammerNSided(0, 2, sides, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normalize per victim row: sides aggressors have sides−1 inner
+		// victims plus 2 outer.
+		return len(ev) * 100 / (sides + 1)
+	}
+	c2, c7, c15 := count(2), count(7), count(15)
+	if c2 != 0 {
+		t.Fatalf("2-sided should be TRR-mitigated, got %d", c2)
+	}
+	if !(c15 > c7) {
+		t.Fatalf("per-victim flips should grow with sides: 7-sided=%d 15-sided=%d", c7, c15)
+	}
+}
+
+func TestHammerValidation(t *testing.T) {
+	m := newTestModule(t, PaperDDR3())
+	if _, err := m.HammerDoubleSided(0, 0, 1); err == nil {
+		t.Fatal("edge victim must error")
+	}
+	if _, err := m.HammerNSided(0, 0, 0, 1); err == nil {
+		t.Fatal("0 sides must error")
+	}
+	if _, err := m.HammerNSided(0, 120, 15, 1); err == nil {
+		t.Fatal("out-of-range pattern must error")
+	}
+	if ev := m.Hammer(0, []int{5}, 0); ev != nil {
+		t.Fatal("zero intensity must be a no-op")
+	}
+}
+
+func TestLowIntensityFlipsFewer(t *testing.T) {
+	profile := DeviceProfile{Name: "hot", Type: DDR3, FlipsPerPage: 300}
+	run := func(intensity float64) int {
+		m, _ := NewModule(Geometry{Banks: 16, RowsPerBank: 64}, profile, 99)
+		m.FillRow(0, 10, 0x00)
+		ev, _ := m.HammerDoubleSided(0, 10, intensity)
+		return len(ev)
+	}
+	full, weak := run(1.0), run(0.4)
+	if !(weak < full) {
+		t.Fatalf("weaker hammer should flip fewer cells: %d vs %d", weak, full)
+	}
+}
+
+func TestGeometryForSize(t *testing.T) {
+	g := GeometryForSize(128<<20, 16)
+	if g.Size() < 128<<20 {
+		t.Fatalf("geometry covers %d < 128MiB", g.Size())
+	}
+	m, err := NewModuleForSize(1<<20, PaperDDR3(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() < 1<<20 {
+		t.Fatal("module too small")
+	}
+}
+
+func TestECCCorrectsSingleFlip(t *testing.T) {
+	m := newTestModule(t, PaperDDR3())
+	ecc := NewECCController(m)
+	ecc.Write(64, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	// Rowhammer flips one bit behind the controller's back.
+	m.Write(66, m.Read(66)^0x10)
+	if got := ecc.ScrubWord(8); got != ECCCorrected {
+		t.Fatalf("single flip outcome %v, want corrected", got)
+	}
+	if m.Read(66) != 3 {
+		t.Fatal("scrub did not restore the byte")
+	}
+	if got := ecc.ScrubWord(8); got != ECCClean {
+		t.Fatalf("re-scrub outcome %v, want clean", got)
+	}
+}
+
+func TestECCDetectsDoubleFlipAndMissesTriple(t *testing.T) {
+	m := newTestModule(t, PaperDDR3())
+	ecc := NewECCController(m)
+	ecc.Write(0, make([]byte, 16))
+	m.Write(0, 0x03) // two flips in word 0
+	if got := ecc.ScrubWord(0); got != ECCDetected {
+		t.Fatalf("double flip outcome %v, want detected", got)
+	}
+	if m.Read(0) != 0x03 {
+		t.Fatal("detected-uncorrectable must not modify memory")
+	}
+	m.Write(8, 0x07) // three flips in word 1
+	if got := ecc.ScrubWord(1); got != ECCSilent {
+		t.Fatalf("triple flip outcome %v, want silent", got)
+	}
+}
+
+func TestECCScrubRangeTallies(t *testing.T) {
+	m := newTestModule(t, PaperDDR3())
+	ecc := NewECCController(m)
+	m.Write(0, 0x01)  // 1 flip: corrected
+	m.Write(8, 0x03)  // 2 flips: detected
+	m.Write(16, 0x07) // 3 flips: silent
+	tally := ecc.ScrubRange(0, 32)
+	if tally[ECCCorrected] != 1 || tally[ECCDetected] != 1 || tally[ECCSilent] != 1 || tally[ECCClean] != 1 {
+		t.Fatalf("tally = %v", tally)
+	}
+}
+
+// TestECCDefeatsSingleBitAttack shows why the paper assumes non-ECC
+// memory: every CFT+BR flip is one bit in its own word, so a scrub
+// erases the whole backdoor.
+func TestECCDefeatsSingleBitAttack(t *testing.T) {
+	m := newTestModule(t, DeviceProfile{Name: "hot", Type: DDR3, FlipsPerPage: 120})
+	ecc := NewECCController(m)
+	bank, victim := 3, 30
+	m.FillRow(bank, victim, 0x00)
+	ecc.Write(m.Geometry().RowBaseAddr(bank, victim), make([]byte, RowBytes))
+	events, err := m.HammerDoubleSided(bank, victim, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no flips to scrub")
+	}
+	base := m.Geometry().RowBaseAddr(bank, victim)
+	tally := ecc.ScrubRange(base, RowBytes)
+	if tally[ECCSilent] > tally[ECCCorrected]+tally[ECCDetected] {
+		t.Fatalf("most sparse flips should be caught: %v", tally)
+	}
+	// After the scrub, all single-bit corruption is gone.
+	tally2 := ecc.ScrubRange(base, RowBytes)
+	if tally2[ECCCorrected] != 0 {
+		t.Fatalf("second scrub still correcting: %v", tally2)
+	}
+}

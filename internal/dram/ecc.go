@@ -1,0 +1,109 @@
+package dram
+
+// ECC modeling (an extension beyond the paper's evaluation; the paper
+// cites Cojocar et al.'s ECC bypass and assumes non-ECC DIMMs). Server
+// DIMMs protect each 64-bit word with SEC-DED: one flipped bit per word
+// is corrected transparently, two are detected (machine-check), three
+// or more can slip through or miscorrect. For the attack this means a
+// single Rowhammer flip per word — exactly what CFT+BR produces — is
+// erased by the next scrub, unless the attacker finds words holding
+// multiple co-located vulnerable cells (far rarer, per Eq. 2).
+
+// ECCWordBytes is the SEC-DED protection granularity.
+const ECCWordBytes = 8
+
+// ECCOutcome classifies what the controller does with a word on scrub.
+type ECCOutcome int
+
+// Scrub outcomes.
+const (
+	// ECCClean means the word matches its check bits.
+	ECCClean ECCOutcome = iota + 1
+	// ECCCorrected means a single-bit error was fixed transparently.
+	ECCCorrected
+	// ECCDetected means a double-bit error raised an uncorrectable
+	// machine-check (the OS typically kills or panics).
+	ECCDetected
+	// ECCSilent means three or more flipped bits escaped SEC-DED.
+	ECCSilent
+)
+
+// String implements fmt.Stringer.
+func (o ECCOutcome) String() string {
+	switch o {
+	case ECCClean:
+		return "clean"
+	case ECCCorrected:
+		return "corrected"
+	case ECCDetected:
+		return "detected-uncorrectable"
+	case ECCSilent:
+		return "silent"
+	default:
+		return "unknown"
+	}
+}
+
+// ECCController wraps a module with SEC-DED semantics. Legitimate
+// writes go through the controller (updating check bits); Rowhammer
+// disturbs the module behind its back, and Scrub applies the
+// correction/detection logic.
+type ECCController struct {
+	mod *Module
+	// shadow holds the data as of the last legitimate write — the
+	// reference the per-word check bits encode. (The simulator stores
+	// the full word; real hardware stores 8 derived check bits with
+	// identical correct/detect power.)
+	shadow []byte
+}
+
+// NewECCController snapshots the module's current contents as the
+// ECC-consistent state.
+func NewECCController(mod *Module) *ECCController {
+	shadow := make([]byte, mod.Size())
+	copy(shadow, mod.mem)
+	return &ECCController{mod: mod, shadow: shadow}
+}
+
+// Write stores data through the controller, keeping check bits
+// consistent.
+func (e *ECCController) Write(addr int, buf []byte) {
+	e.mod.WriteRange(addr, buf)
+	copy(e.shadow[addr:addr+len(buf)], buf)
+}
+
+// ScrubWord examines one 64-bit word: single-bit deviations from the
+// protected state are corrected in memory, double-bit deviations are
+// detected (left as-is), and wider corruption passes silently.
+func (e *ECCController) ScrubWord(wordAddr int) ECCOutcome {
+	base := wordAddr * ECCWordBytes
+	flips := 0
+	for i := 0; i < ECCWordBytes; i++ {
+		d := e.mod.mem[base+i] ^ e.shadow[base+i]
+		for ; d != 0; d &= d - 1 {
+			flips++
+		}
+	}
+	switch flips {
+	case 0:
+		return ECCClean
+	case 1:
+		copy(e.mod.mem[base:base+ECCWordBytes], e.shadow[base:base+ECCWordBytes])
+		return ECCCorrected
+	case 2:
+		return ECCDetected
+	default:
+		return ECCSilent
+	}
+}
+
+// ScrubRange scrubs every word in [addr, addr+n) and tallies outcomes.
+func (e *ECCController) ScrubRange(addr, n int) map[ECCOutcome]int {
+	out := make(map[ECCOutcome]int)
+	first := addr / ECCWordBytes
+	last := (addr + n + ECCWordBytes - 1) / ECCWordBytes
+	for w := first; w < last; w++ {
+		out[e.ScrubWord(w)]++
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Package dram simulates the DRAM substrate the Rowhammer attack runs
+// on: banks and rows with an invertible XOR physical-address mapping,
+// per-device sparse vulnerable-cell maps calibrated to the flip
+// densities the paper measured (Table I), a Target-Row-Refresh (TRR)
+// sampler model for DDR4, and double-sided / n-sided hammering that
+// disturbs victim rows at cell granularity.
+package dram
+
+import "fmt"
+
+// RowBytes is the DRAM row (page in DRAM terminology) size: 8 KB, the
+// fixed row size the paper's §VIII discussion cites.
+const RowBytes = 8192
+
+// OSPageBytes is the operating-system page size; each DRAM row holds two
+// OS pages.
+const OSPageBytes = 4096
+
+// Geometry describes a module's bank/row organization. Banks must be a
+// power of two for the XOR address mapping.
+type Geometry struct {
+	// Banks is the number of banks (typically 16).
+	Banks int
+	// RowsPerBank is the number of rows in each bank.
+	RowsPerBank int
+}
+
+// Validate checks the geometry invariants.
+func (g Geometry) Validate() error {
+	if g.Banks <= 0 || g.Banks&(g.Banks-1) != 0 {
+		return fmt.Errorf("dram: banks must be a positive power of two, got %d", g.Banks)
+	}
+	if g.RowsPerBank <= 0 {
+		return fmt.Errorf("dram: rows per bank must be positive, got %d", g.RowsPerBank)
+	}
+	return nil
+}
+
+// Size returns the module capacity in bytes.
+func (g Geometry) Size() int { return g.Banks * g.RowsPerBank * RowBytes }
+
+// GeometryForSize builds a geometry with the given bank count covering
+// at least size bytes.
+func GeometryForSize(size, banks int) Geometry {
+	rows := (size + banks*RowBytes - 1) / (banks * RowBytes)
+	if rows == 0 {
+		rows = 1
+	}
+	return Geometry{Banks: banks, RowsPerBank: rows}
+}
+
+// Loc is a physical DRAM location at row-chunk granularity.
+type Loc struct {
+	Bank int
+	Row  int
+	// Col is the byte offset within the row.
+	Col int
+}
+
+// LocOf translates a physical byte address to its bank/row/column. Row
+// chunks are interleaved across banks with an XOR twist, mirroring real
+// controllers: consecutive 8 KB chunks land in different banks, and the
+// bank of a chunk depends on both its position and its row index.
+func (g Geometry) LocOf(addr int) Loc {
+	chunk := addr / RowBytes
+	col := addr % RowBytes
+	row := chunk / g.Banks
+	j := chunk % g.Banks
+	bank := j ^ (row & (g.Banks - 1))
+	return Loc{Bank: bank, Row: row, Col: col}
+}
+
+// AddrOf is the inverse of LocOf.
+func (g Geometry) AddrOf(l Loc) int {
+	j := l.Bank ^ (l.Row & (g.Banks - 1))
+	chunk := l.Row*g.Banks + j
+	return chunk*RowBytes + l.Col
+}
+
+// RowBaseAddr returns the physical address of the first byte of a row.
+func (g Geometry) RowBaseAddr(bank, row int) int {
+	return g.AddrOf(Loc{Bank: bank, Row: row})
+}

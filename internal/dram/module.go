@@ -1,0 +1,295 @@
+package dram
+
+import (
+	"fmt"
+	"math"
+
+	"rowhammer/internal/tensor"
+)
+
+// FlipDirection is the only direction a vulnerable cell can flip in.
+type FlipDirection int
+
+// Flip directions.
+const (
+	ZeroToOne FlipDirection = iota + 1
+	OneToZero
+)
+
+// String implements fmt.Stringer.
+func (d FlipDirection) String() string {
+	if d == ZeroToOne {
+		return "0->1"
+	}
+	return "1->0"
+}
+
+// WeakCell is one vulnerable DRAM cell within a row.
+type WeakCell struct {
+	// BitInRow is the bit index within the 8 KB row (0 … RowBytes*8−1).
+	BitInRow int
+	// Dir is the cell's fixed flip direction.
+	Dir FlipDirection
+	// Threshold is the normalized disturbance (0 … 1] needed to flip
+	// the cell; 1 corresponds to a full double-sided hammer without TRR
+	// interference.
+	Threshold float64
+}
+
+// FlipEvent records a bit flip that hammering caused in memory.
+type FlipEvent struct {
+	// Addr is the physical byte address holding the flipped bit.
+	Addr int
+	// Bit is the bit index within that byte (0 = LSB).
+	Bit int
+	// Dir is the observed flip direction.
+	Dir FlipDirection
+}
+
+// Module is a simulated DRAM module: flat physical byte storage plus a
+// deterministic sparse map of vulnerable cells derived from the device
+// profile.
+type Module struct {
+	geom    Geometry
+	profile DeviceProfile
+	seed    int64
+	mem     []byte
+
+	// weakCache memoizes per-row weak-cell lists, generated lazily and
+	// deterministically from (seed, bank, row).
+	weakCache map[int64][]WeakCell
+}
+
+// NewModule builds a module with the given geometry and device profile.
+// All memory starts zeroed. The seed fixes the vulnerable-cell layout.
+func NewModule(geom Geometry, profile DeviceProfile, seed int64) (*Module, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	return &Module{
+		geom:      geom,
+		profile:   profile,
+		seed:      seed,
+		mem:       make([]byte, geom.Size()),
+		weakCache: make(map[int64][]WeakCell),
+	}, nil
+}
+
+// NewModuleForSize is a convenience wrapper using a 16-bank geometry
+// covering size bytes.
+func NewModuleForSize(size int, profile DeviceProfile, seed int64) (*Module, error) {
+	return NewModule(GeometryForSize(size, 16), profile, seed)
+}
+
+// Geometry returns the module geometry.
+func (m *Module) Geometry() Geometry { return m.geom }
+
+// Profile returns the device profile.
+func (m *Module) Profile() DeviceProfile { return m.profile }
+
+// Size returns the capacity in bytes.
+func (m *Module) Size() int { return len(m.mem) }
+
+// Read returns the byte at a physical address.
+func (m *Module) Read(addr int) byte { return m.mem[addr] }
+
+// Write stores a byte at a physical address.
+func (m *Module) Write(addr int, v byte) { m.mem[addr] = v }
+
+// ReadRange copies n bytes starting at addr.
+func (m *Module) ReadRange(addr, n int) []byte {
+	out := make([]byte, n)
+	copy(out, m.mem[addr:addr+n])
+	return out
+}
+
+// WriteRange stores buf starting at addr.
+func (m *Module) WriteRange(addr int, buf []byte) {
+	copy(m.mem[addr:addr+len(buf)], buf)
+}
+
+// FillRow sets every byte of a row to v.
+func (m *Module) FillRow(bank, row int, v byte) {
+	base := m.geom.RowBaseAddr(bank, row)
+	seg := m.mem[base : base+RowBytes]
+	for i := range seg {
+		seg[i] = v
+	}
+}
+
+// weakCells returns the vulnerable cells of a row, generated lazily.
+// The per-row RNG stream is keyed by (seed, bank, row) so the layout is
+// stable regardless of query order.
+func (m *Module) weakCells(bank, row int) []WeakCell {
+	key := int64(bank)<<32 | int64(row)
+	if cells, ok := m.weakCache[key]; ok {
+		return cells
+	}
+	const mix = int64(-0x61C8864680B583EB) // golden-ratio mixing constant
+	rng := tensor.NewRNG(m.seed ^ (key*mix + 0x2545F4914F6CDD1D))
+	// A row holds two OS pages, so the expected weak count per row is
+	// 2× the per-page average. Sample the count from a Poisson
+	// distribution via inversion.
+	lambda := m.profile.FlipsPerPage * 2
+	count := poisson(rng, lambda)
+	cells := make([]WeakCell, 0, count)
+	seen := make(map[int]bool, count)
+	for len(cells) < count {
+		bit := rng.Intn(RowBytes * 8)
+		if seen[bit] {
+			continue
+		}
+		seen[bit] = true
+		dir := ZeroToOne
+		if rng.Float64() < 0.5 {
+			dir = OneToZero
+		}
+		// Thresholds live in (0.55, 1]: a full double-sided hammer
+		// (disturbance 1.0) fires every weak cell, while single-sided
+		// disturbance (0.5) fires none — matching the observation that
+		// DDR3 flips need the sandwich pattern and that victim rows
+		// adjacent to a single aggressor survive.
+		cells = append(cells, WeakCell{
+			BitInRow:  bit,
+			Dir:       dir,
+			Threshold: 0.55 + 0.45*rng.Float64(),
+		})
+	}
+	m.weakCache[key] = cells
+	return cells
+}
+
+// poisson samples a Poisson variate by inversion (adequate for the
+// λ ≤ ~250 this simulator uses).
+func poisson(rng *tensor.RNG, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > int(lambda*10+100) { // numeric safety net
+			return k
+		}
+	}
+}
+
+// WeakCellCount returns how many vulnerable cells a row contains
+// (useful for statistics without triggering flips).
+func (m *Module) WeakCellCount(bank, row int) int {
+	return len(m.weakCells(bank, row))
+}
+
+// trrEscapeFraction models the Target Row Refresh sampler: with A
+// simultaneous aggressors and a sampler that can track K of them, a
+// (A−K)/A fraction of the hammer activity escapes mitigation. Patterns
+// with A ≤ K are fully mitigated — the reason double-sided Rowhammer
+// fails on DDR4 (§IV-A2).
+func (m *Module) trrEscapeFraction(aggressors int) float64 {
+	k := m.profile.TRRSamplerSize
+	if k <= 0 {
+		return 1
+	}
+	if aggressors <= k {
+		return 0
+	}
+	return float64(aggressors-k) / float64(aggressors)
+}
+
+// Hammer activates the given aggressor rows of one bank repeatedly.
+// intensity ∈ (0, 1] is the per-aggressor activation budget normalized
+// to the refresh window (1 = the full hammer the paper's profiling
+// uses). Victim rows are every row adjacent to an aggressor that is not
+// itself an aggressor; each receives disturbance proportional to its
+// adjacent aggressor count, scaled by the TRR escape fraction.
+// Vulnerable cells whose threshold is exceeded and whose stored bit
+// matches the cell's flip direction are flipped in memory; the returned
+// events list every flip applied.
+func (m *Module) Hammer(bank int, aggressorRows []int, intensity float64) []FlipEvent {
+	if intensity <= 0 {
+		return nil
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	isAggr := make(map[int]bool, len(aggressorRows))
+	for _, r := range aggressorRows {
+		isAggr[r] = true
+	}
+	// Disturbance per victim: 0.5 per adjacent aggressor, so the
+	// classic double-sided sandwich reaches 1.0.
+	disturb := make(map[int]float64)
+	for _, r := range aggressorRows {
+		for _, v := range []int{r - 1, r + 1} {
+			if v < 0 || v >= m.geom.RowsPerBank || isAggr[v] {
+				continue
+			}
+			disturb[v] += 0.5
+		}
+	}
+	escape := m.trrEscapeFraction(len(aggressorRows))
+	var events []FlipEvent
+	for victim, d := range disturb {
+		eff := d * intensity * escape
+		if eff <= 0 {
+			continue
+		}
+		base := m.geom.RowBaseAddr(bank, victim)
+		for _, cell := range m.weakCells(bank, victim) {
+			if cell.Threshold > eff {
+				continue
+			}
+			byteOff := cell.BitInRow / 8
+			bit := cell.BitInRow % 8
+			addr := base + byteOff
+			cur := m.mem[addr] & (1 << bit)
+			switch cell.Dir {
+			case ZeroToOne:
+				if cur == 0 {
+					m.mem[addr] |= 1 << bit
+					events = append(events, FlipEvent{Addr: addr, Bit: bit, Dir: ZeroToOne})
+				}
+			case OneToZero:
+				if cur != 0 {
+					m.mem[addr] &^= 1 << bit
+					events = append(events, FlipEvent{Addr: addr, Bit: bit, Dir: OneToZero})
+				}
+			}
+		}
+	}
+	return events
+}
+
+// HammerDoubleSided sandwiches the victim row between two aggressors —
+// the DDR3 profiling pattern.
+func (m *Module) HammerDoubleSided(bank, victimRow int, intensity float64) ([]FlipEvent, error) {
+	if victimRow <= 0 || victimRow >= m.geom.RowsPerBank-1 {
+		return nil, fmt.Errorf("dram: victim row %d has no neighbors on both sides", victimRow)
+	}
+	return m.Hammer(bank, []int{victimRow - 1, victimRow + 1}, intensity), nil
+}
+
+// HammerNSided runs the TRRespass-style many-sided pattern: sides
+// aggressor rows at stride 2 starting from startRow (aggressor, victim,
+// aggressor, …). The paper uses 15 sides for DDR4 profiling and 7 for
+// the online attack.
+func (m *Module) HammerNSided(bank, startRow, sides int, intensity float64) ([]FlipEvent, error) {
+	if sides < 1 {
+		return nil, fmt.Errorf("dram: sides must be ≥ 1, got %d", sides)
+	}
+	last := startRow + 2*(sides-1)
+	if startRow < 0 || last >= m.geom.RowsPerBank {
+		return nil, fmt.Errorf("dram: n-sided pattern [%d..%d] out of range", startRow, last)
+	}
+	rows := make([]int, sides)
+	for i := range rows {
+		rows[i] = startRow + 2*i
+	}
+	return m.Hammer(bank, rows, intensity), nil
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/profile"
+	"rowhammer/internal/sidechan"
+)
+
+// Figure2Report quantifies the bit-flip sparsity of a profiled buffer
+// (Figure 2): total flips, vulnerable-cell fraction, and the flips of
+// the flippiest page.
+type Figure2Report struct {
+	BufferBytes      int
+	TotalFlips       int
+	VulnerableRatio  float64
+	MaxFlipsInPage   int
+	FlipsPerPageHist map[int]int
+}
+
+// Figure2 profiles a DDR3 buffer and reports sparsity statistics.
+func Figure2(bufPages int, seed int64) (*Figure2Report, error) {
+	mod, err := dram.NewModuleForSize(bufPages*memsys.PageSize*2, dram.PaperDDR3(), seed)
+	if err != nil {
+		return nil, err
+	}
+	sys := memsys.NewSystem(mod)
+	proc := sys.NewProcess()
+	base, err := proc.Mmap(bufPages)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.ProfileBuffer(sys, proc, base, bufPages, profile.Config{
+		Sides: 2, Intensity: 1, MeasureSeed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Figure2Report{
+		BufferBytes:      bufPages * memsys.PageSize,
+		TotalFlips:       prof.TotalFlips(),
+		FlipsPerPageHist: prof.FlipsPerPageHistogram(),
+	}
+	bits := prof.VictimPageCount() * memsys.PageSize * 8
+	if bits > 0 {
+		rep.VulnerableRatio = float64(rep.TotalFlips) / float64(bits)
+	}
+	for n := range rep.FlipsPerPageHist {
+		if n > rep.MaxFlipsInPage {
+			rep.MaxFlipsInPage = n
+		}
+	}
+	return rep, nil
+}
+
+// Figure4Point records one (release order, file page) pair of the
+// massaging experiment.
+type Figure4Point struct {
+	FilePage int
+	Frame    int
+}
+
+// Figure4 reproduces the released-pages-vs-weight-file mapping: the
+// attacker releases an identity assignment in Listing 1 order and the
+// victim's file pages land on those frames in reverse release order.
+func Figure4(filePages int, seed int64) ([]Figure4Point, error) {
+	mod, err := dram.NewModuleForSize((filePages*4+512)*memsys.PageSize, dram.PaperDDR3(), seed)
+	if err != nil {
+		return nil, err
+	}
+	sys := memsys.NewSystem(mod)
+	sys.WriteFile("w.bin", make([]byte, filePages*memsys.PageSize))
+	attacker := sys.NewProcess()
+	bufBase, err := attacker.Mmap(filePages * 2)
+	if err != nil {
+		return nil, err
+	}
+	assignment := make([]int, filePages)
+	for i := range assignment {
+		assignment[i] = 2 * i // arbitrary spread over the buffer
+	}
+	if err := memsys.MassageFileMapping(attacker, bufBase, assignment); err != nil {
+		return nil, err
+	}
+	victim := sys.NewProcess()
+	base, err := victim.MmapFile("w.bin")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Figure4Point, filePages)
+	for i := 0; i < filePages; i++ {
+		f, err := victim.FrameOf(base + i*memsys.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Figure4Point{FilePage: i, Frame: f}
+	}
+	return out, nil
+}
+
+// Figure5Point is one n-sided measurement: pattern width versus the
+// average flips per victim page on a DDR4 buffer.
+type Figure5Point struct {
+	Sides            int
+	AvgFlipsPerPage  float64
+	TotalFlips       int
+	VictimPagesCount int
+}
+
+// Figure5 sweeps the aggressor-row count of the n-sided pattern on the
+// paper's DDR4 device (TRR blocks ≤2 sides; beyond that the escape
+// fraction — and with it the flip yield — grows with the side count).
+func Figure5(bufPages int, maxSides int, seed int64) ([]Figure5Point, error) {
+	var out []Figure5Point
+	for sides := 1; sides <= maxSides; sides += 2 {
+		mod, err := dram.NewModuleForSize(bufPages*memsys.PageSize*2, dram.PaperDDR4(), seed)
+		if err != nil {
+			return nil, err
+		}
+		sys := memsys.NewSystem(mod)
+		proc := sys.NewProcess()
+		base, err := proc.Mmap(bufPages)
+		if err != nil {
+			return nil, err
+		}
+		point := Figure5Point{Sides: sides}
+		if sides >= 2 {
+			prof, err := profile.ProfileBuffer(sys, proc, base, bufPages, profile.Config{
+				Sides: sides, Intensity: 1, MeasureSeed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			point.AvgFlipsPerPage = prof.AvgFlipsPerPage()
+			point.TotalFlips = prof.TotalFlips()
+			point.VictimPagesCount = prof.VictimPageCount()
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// Figure6Report compares the per-page flip distribution of the 15- and
+// 7-sided patterns (Figure 6): profiling with 15 sides finds more flips
+// per page; attacking with 7 keeps the extra flips per target page low.
+type Figure6Report struct {
+	Avg15          float64
+	Avg7           float64
+	Hist15         map[int]int
+	Hist7          map[int]int
+	ExtraPerPage7  float64
+	ExtraPerPage15 float64
+}
+
+// Figure6 profiles the same DDR4 device with both pattern widths.
+func Figure6(bufPages int, seed int64) (*Figure6Report, error) {
+	run := func(sides int) (*profile.Profile, error) {
+		mod, err := dram.NewModuleForSize(bufPages*memsys.PageSize*2, dram.PaperDDR4(), seed)
+		if err != nil {
+			return nil, err
+		}
+		sys := memsys.NewSystem(mod)
+		proc := sys.NewProcess()
+		base, err := proc.Mmap(bufPages)
+		if err != nil {
+			return nil, err
+		}
+		return profile.ProfileBuffer(sys, proc, base, bufPages, profile.Config{
+			Sides: sides, Intensity: 1, MeasureSeed: seed,
+		})
+	}
+	p15, err := run(15)
+	if err != nil {
+		return nil, err
+	}
+	p7, err := run(7)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure6Report{
+		Avg15:          p15.AvgFlipsPerPage(),
+		Avg7:           p7.AvgFlipsPerPage(),
+		Hist15:         p15.FlipsPerPageHistogram(),
+		Hist7:          p7.FlipsPerPageHistogram(),
+		ExtraPerPage15: p15.AvgFlipsPerPage() - 1,
+		ExtraPerPage7:  p7.AvgFlipsPerPage() - 1,
+	}, nil
+}
+
+// Figure9Series is one Eq. 2 curve: probability of finding a target
+// page versus profiled page count, for a given number of required bit
+// offsets.
+type Figure9Series struct {
+	KPlusL     int
+	PageCounts []int
+	Prob       []float64
+}
+
+// Figure9 evaluates Eq. 2 for k+l ∈ {1, 2, 3} on the DDR4 chip K1, as
+// in the appendix.
+func Figure9() []Figure9Series {
+	k1, _ := dram.ProfileByName("K1")
+	pageCounts := []int{1, 10, 100, 500, 1000, 2200, 5000, 10000, 32768}
+	var out []Figure9Series
+	for kl := 1; kl <= 3; kl++ {
+		out = append(out, Figure9Series{
+			KPlusL:     kl,
+			PageCounts: pageCounts,
+			Prob:       profile.ProbSeries(k1.FlipsPerPage, kl, profile.PageBits, pageCounts),
+		})
+	}
+	return out
+}
+
+// Figure10Series is one per-chip Eq. 2 curve for a single bit offset.
+type Figure10Series struct {
+	Device     string
+	PageCounts []int
+	Prob       []float64
+}
+
+// Figure10 evaluates Eq. 2 with k+l=1 for every Table I chip.
+func Figure10() []Figure10Series {
+	pageCounts := []int{1, 100, 1000, 10000, 32768, 100000, 1000000}
+	var out []Figure10Series
+	for _, p := range dram.TableIProfiles() {
+		out = append(out, Figure10Series{
+			Device:     p.Name,
+			PageCounts: pageCounts,
+			Prob:       profile.ProbSeries(p.FlipsPerPage, 1, profile.PageBits, pageCounts),
+		})
+	}
+	return out
+}
+
+// Figure11Report holds a SPOILER sweep: the timing series and the
+// detected contiguous runs.
+type Figure11Report struct {
+	Timings []float64
+	Runs    []sidechan.Run
+}
+
+// Figure11 performs the SPOILER contiguity sweep over a fresh buffer.
+func Figure11(pages int, seed int64) (*Figure11Report, error) {
+	mod, err := dram.NewModuleForSize(pages*memsys.PageSize*2, dram.PaperDDR3(), seed)
+	if err != nil {
+		return nil, err
+	}
+	sys := memsys.NewSystem(mod)
+	proc := sys.NewProcess()
+	base, err := proc.Mmap(pages)
+	if err != nil {
+		return nil, err
+	}
+	meas := sidechan.NewMeasurer(sys, seed)
+	timings, err := meas.SpoilerSweep(proc, base, pages)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure11Report{
+		Timings: timings,
+		Runs:    sidechan.DetectContiguousRuns(timings, sidechan.SpoilerAlias),
+	}, nil
+}
+
+// Figure12Report is the row-conflict access-time distribution.
+type Figure12Report struct {
+	Timings      []float64
+	ConflictFrac float64
+	MeanConflict float64
+	MeanFast     float64
+}
+
+// Figure12 measures access-time pairs over contiguous chunks; about one
+// per bank count lands in the same bank and shows the ~400-cycle
+// conflict latency.
+func Figure12(samples int, seed int64) (*Figure12Report, error) {
+	mod, err := dram.NewModuleForSize((samples*2+64)*memsys.PageSize, dram.PaperDDR3(), seed)
+	if err != nil {
+		return nil, err
+	}
+	sys := memsys.NewSystem(mod)
+	proc := sys.NewProcess()
+	base, err := proc.Mmap(samples*2 + 32)
+	if err != nil {
+		return nil, err
+	}
+	meas := sidechan.NewMeasurer(sys, seed)
+	rep := &Figure12Report{}
+	var conflictSum, fastSum float64
+	var conflicts, fast int
+	for i := 1; i <= samples; i++ {
+		t, err := meas.RowConflictCycles(proc, base, base+i*2*memsys.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		rep.Timings = append(rep.Timings, t)
+		if t > (sidechan.BaseCycles+sidechan.ConflictCycles)/2 {
+			conflicts++
+			conflictSum += t
+		} else {
+			fast++
+			fastSum += t
+		}
+	}
+	if conflicts > 0 {
+		rep.MeanConflict = conflictSum / float64(conflicts)
+	}
+	if fast > 0 {
+		rep.MeanFast = fastSum / float64(fast)
+	}
+	rep.ConflictFrac = float64(conflicts) / float64(samples)
+	return rep, nil
+}

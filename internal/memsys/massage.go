@@ -1,0 +1,34 @@
+package memsys
+
+import "fmt"
+
+// MassageFileMapping implements the Listing 1 memory-massaging
+// primitive. The attacker owns an anonymous buffer (bufBase) whose page
+// frames it has located (via the SPOILER/row-conflict side channels).
+// assignment[i] names the buffer page whose frame the i-th page of the
+// victim's weight file must land on.
+//
+// Because the per-CPU page-frame cache hands frames back in
+// first-in-last-out order, the attacker unmaps the chosen buffer pages
+// in *reverse* file order: the frame for file page 0 is released last,
+// so it sits on top of the stack when the victim's mmap faults file
+// page 0 in first. Figure 4's "first pages of the weight file map to
+// the last released pages of our buffer" is exactly this order.
+//
+// The victim file must not already be resident in the page cache
+// (evict it first); cached pages do not allocate frames.
+func MassageFileMapping(attacker *Process, bufBase int, assignment []int) error {
+	seen := make(map[int]bool, len(assignment))
+	for _, bp := range assignment {
+		if seen[bp] {
+			return fmt.Errorf("memsys: buffer page %d assigned twice", bp)
+		}
+		seen[bp] = true
+	}
+	for i := len(assignment) - 1; i >= 0; i-- {
+		if err := attacker.MunmapPage(bufBase + assignment[i]*PageSize); err != nil {
+			return fmt.Errorf("memsys: massage unmap file page %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+// Package memsys simulates the operating-system memory plumbing the
+// online attack phase exploits: a physical page-frame allocator with the
+// Linux per-CPU page-frame cache (frames are reallocated in
+// first-in-last-out order), anonymous and file-backed mmap/munmap, and a
+// file page cache whose frames hold the weight file while the victim
+// runs. Rowhammer corrupts frames directly in DRAM, so the page cache
+// keeps serving the modified copy and the on-disk file stays pristine —
+// the stealth property of §IV-B.
+package memsys
+
+import (
+	"errors"
+	"fmt"
+
+	"rowhammer/internal/dram"
+)
+
+// PageSize is the OS page size.
+const PageSize = 4096
+
+// ErrNoMemory is returned when no free frame is available.
+var ErrNoMemory = errors.New("memsys: out of physical frames")
+
+// System owns the physical memory (backed by a simulated DRAM module),
+// the frame allocator and the file page cache.
+type System struct {
+	module  *dram.Module
+	nframes int
+
+	// free is the buddy-allocator stand-in: frames not in any mapping
+	// and not in the frame cache, allocated lowest-first.
+	free []bool
+	// frameCache is the per-CPU page-frame cache: a FILO stack of
+	// recently unmapped frames, consulted before the free list.
+	frameCache []int
+
+	files   map[string]*cachedFile
+	nextPID int
+}
+
+type cachedFile struct {
+	data   []byte      // "disk" contents
+	frames map[int]int // file page → frame, for cached pages
+}
+
+// NewSystem wraps a DRAM module. Frames cover the module's full
+// capacity.
+func NewSystem(module *dram.Module) *System {
+	n := module.Size() / PageSize
+	s := &System{
+		module:  module,
+		nframes: n,
+		free:    make([]bool, n),
+		files:   make(map[string]*cachedFile),
+	}
+	for i := range s.free {
+		s.free[i] = true
+	}
+	return s
+}
+
+// Module exposes the backing DRAM (the hammering interface).
+func (s *System) Module() *dram.Module { return s.module }
+
+// NumFrames returns the physical frame count.
+func (s *System) NumFrames() int { return s.nframes }
+
+// FrameCacheDepth reports how many frames sit in the per-CPU cache.
+func (s *System) FrameCacheDepth() int { return len(s.frameCache) }
+
+// allocFrame pops the most recently freed frame from the per-CPU cache,
+// falling back to the lowest free frame — the FILO behavior Listing 1
+// exploits.
+func (s *System) allocFrame() (int, error) {
+	if n := len(s.frameCache); n > 0 {
+		f := s.frameCache[n-1]
+		s.frameCache = s.frameCache[:n-1]
+		return f, nil
+	}
+	for f := 0; f < s.nframes; f++ {
+		if s.free[f] {
+			s.free[f] = false
+			return f, nil
+		}
+	}
+	return 0, ErrNoMemory
+}
+
+// releaseFrame pushes a frame onto the per-CPU cache.
+func (s *System) releaseFrame(f int) {
+	s.frameCache = append(s.frameCache, f)
+}
+
+// WriteFile stores file contents on the simulated disk. An existing
+// cached copy is invalidated.
+func (s *System) WriteFile(name string, data []byte) {
+	if old, ok := s.files[name]; ok {
+		for _, f := range old.frames {
+			s.releaseFrame(f)
+		}
+	}
+	s.files[name] = &cachedFile{
+		data:   append([]byte(nil), data...),
+		frames: make(map[int]int),
+	}
+}
+
+// FileSize returns a file's length in bytes.
+func (s *System) FileSize(name string) (int, error) {
+	cf, ok := s.files[name]
+	if !ok {
+		return 0, fmt.Errorf("memsys: no such file %q", name)
+	}
+	return len(cf.data), nil
+}
+
+// ReadFileFromDisk returns the on-disk bytes, bypassing the page cache.
+// Rowhammer corruption never reaches this copy.
+func (s *System) ReadFileFromDisk(name string) ([]byte, error) {
+	cf, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memsys: no such file %q", name)
+	}
+	return append([]byte(nil), cf.data...), nil
+}
+
+// EvictFile drops a file's page-cache frames (e.g. memory pressure or a
+// reboot); the next mmap re-reads from disk, erasing any in-memory
+// corruption.
+func (s *System) EvictFile(name string) error {
+	cf, ok := s.files[name]
+	if !ok {
+		return fmt.Errorf("memsys: no such file %q", name)
+	}
+	for _, f := range cf.frames {
+		s.releaseFrame(f)
+	}
+	cf.frames = make(map[int]int)
+	return nil
+}
+
+// FileCachedFrames returns the page-cache frame of each cached file
+// page (file page index → frame).
+func (s *System) FileCachedFrames(name string) (map[int]int, error) {
+	cf, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memsys: no such file %q", name)
+	}
+	out := make(map[int]int, len(cf.frames))
+	for k, v := range cf.frames {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// NewProcess creates a process with an empty address space.
+func (s *System) NewProcess() *Process {
+	s.nextPID++
+	return &Process{
+		sys:       s,
+		pid:       s.nextPID,
+		pages:     make(map[int]mappingEntry),
+		nextVPage: 0x1000, // arbitrary non-zero base
+	}
+}
+
+type mappingEntry struct {
+	frame    int
+	file     string // "" for anonymous
+	filePage int
+}
+
+// Process is one address space. Virtual addresses are byte addresses;
+// mappings are tracked per page.
+type Process struct {
+	sys       *System
+	pid       int
+	pages     map[int]mappingEntry
+	nextVPage int
+}
+
+// PID returns the process id.
+func (p *Process) PID() int { return p.pid }
+
+// Mmap maps npages fresh anonymous zeroed pages and returns the base
+// virtual address.
+func (p *Process) Mmap(npages int) (int, error) {
+	base := p.nextVPage
+	for i := 0; i < npages; i++ {
+		f, err := p.sys.allocFrame()
+		if err != nil {
+			// Roll back partial mapping.
+			for j := 0; j < i; j++ {
+				p.MunmapPage((base + j) * PageSize)
+			}
+			return 0, err
+		}
+		p.zeroFrame(f)
+		p.pages[base+i] = mappingEntry{frame: f}
+	}
+	p.nextVPage += npages
+	return base * PageSize, nil
+}
+
+func (p *Process) zeroFrame(f int) {
+	buf := make([]byte, PageSize)
+	p.sys.module.WriteRange(f*PageSize, buf)
+}
+
+// MmapFile maps the whole file. Pages already in the page cache are
+// shared; missing pages are read from disk into freshly allocated
+// frames in file order — the behavior the Listing 1 massaging relies
+// on.
+func (p *Process) MmapFile(name string) (int, error) {
+	cf, ok := p.sys.files[name]
+	if !ok {
+		return 0, fmt.Errorf("memsys: no such file %q", name)
+	}
+	npages := (len(cf.data) + PageSize - 1) / PageSize
+	base := p.nextVPage
+	for i := 0; i < npages; i++ {
+		f, cached := cf.frames[i]
+		if !cached {
+			var err error
+			f, err = p.sys.allocFrame()
+			if err != nil {
+				return 0, err
+			}
+			page := make([]byte, PageSize)
+			lo := i * PageSize
+			hi := lo + PageSize
+			if hi > len(cf.data) {
+				hi = len(cf.data)
+			}
+			copy(page, cf.data[lo:hi])
+			p.sys.module.WriteRange(f*PageSize, page)
+			cf.frames[i] = f
+		}
+		p.pages[base+i] = mappingEntry{frame: f, file: name, filePage: i}
+	}
+	p.nextVPage += npages
+	return base * PageSize, nil
+}
+
+// MunmapPage unmaps the page containing vaddr. Anonymous frames go to
+// the per-CPU frame cache; file-backed frames stay in the page cache
+// (only the mapping is removed).
+func (p *Process) MunmapPage(vaddr int) error {
+	vp := vaddr / PageSize
+	entry, ok := p.pages[vp]
+	if !ok {
+		return fmt.Errorf("memsys: page %#x not mapped", vaddr)
+	}
+	delete(p.pages, vp)
+	if entry.file == "" {
+		p.sys.releaseFrame(entry.frame)
+	}
+	return nil
+}
+
+// Translate returns the physical byte address backing vaddr.
+func (p *Process) Translate(vaddr int) (int, error) {
+	vp := vaddr / PageSize
+	entry, ok := p.pages[vp]
+	if !ok {
+		return 0, fmt.Errorf("memsys: page %#x not mapped", vaddr)
+	}
+	return entry.frame*PageSize + vaddr%PageSize, nil
+}
+
+// FrameOf returns the physical frame of the page containing vaddr.
+// In the real attack this information is *not* directly available to an
+// unprivileged process (pagemap needs root); the attacker recovers it
+// through the SPOILER and row-conflict side channels in package
+// sidechan. Tests and the experiment oracle use FrameOf for validation.
+func (p *Process) FrameOf(vaddr int) (int, error) {
+	phys, err := p.Translate(vaddr)
+	if err != nil {
+		return 0, err
+	}
+	return phys / PageSize, nil
+}
+
+// Read returns n bytes at vaddr (must lie within one page).
+func (p *Process) Read(vaddr, n int) ([]byte, error) {
+	phys, err := p.Translate(vaddr)
+	if err != nil {
+		return nil, err
+	}
+	if vaddr%PageSize+n > PageSize {
+		return nil, fmt.Errorf("memsys: read crosses page boundary")
+	}
+	return p.sys.module.ReadRange(phys, n), nil
+}
+
+// Write stores buf at vaddr (must lie within one page). Writes through a
+// file mapping modify only the cached copy (dirty write-back is not
+// simulated; the attack never uses legitimate writes on the victim
+// file).
+func (p *Process) Write(vaddr int, buf []byte) error {
+	phys, err := p.Translate(vaddr)
+	if err != nil {
+		return err
+	}
+	if vaddr%PageSize+len(buf) > PageSize {
+		return fmt.Errorf("memsys: write crosses page boundary")
+	}
+	p.sys.module.WriteRange(phys, buf)
+	return nil
+}
+
+// ReadMapped reads a byte range that may span pages.
+func (p *Process) ReadMapped(vaddr, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		chunk := PageSize - vaddr%PageSize
+		if chunk > n {
+			chunk = n
+		}
+		b, err := p.Read(vaddr, chunk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+		vaddr += chunk
+		n -= chunk
+	}
+	return out, nil
+}
+
+// MappedPages returns the number of currently mapped pages.
+func (p *Process) MappedPages() int { return len(p.pages) }

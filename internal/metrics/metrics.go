@@ -1,0 +1,102 @@
+// Package metrics implements the paper's evaluation metrics (§V-B):
+// N_flip, DRAM match rate r_match, test accuracy (TA) and attack
+// success rate (ASR), plus confusion matrices for the Figure 1 style
+// behavioral comparison.
+package metrics
+
+import (
+	"rowhammer/internal/data"
+	"rowhammer/internal/nn"
+	"rowhammer/internal/quant"
+)
+
+// evalBatch is the batch size used for metric evaluation.
+const evalBatch = 64
+
+// TestAccuracy returns the fraction of clean samples the model
+// classifies correctly (the TA metric).
+func TestAccuracy(m *nn.Model, ds *data.Dataset) float64 {
+	correct, total := 0, 0
+	for _, b := range ds.Batches(evalBatch) {
+		preds := m.Predict(b.Images)
+		for i, p := range preds {
+			if p == b.Labels[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// AttackSuccessRate returns the fraction of trigger-stamped samples
+// classified as the target class (the ASR metric). Samples whose true
+// label already equals the target class are excluded, as is standard.
+func AttackSuccessRate(m *nn.Model, ds *data.Dataset, trigger *data.Trigger, target int) float64 {
+	hits, total := 0, 0
+	for _, b := range ds.Batches(evalBatch) {
+		trigger.Apply(b.Images)
+		preds := m.Predict(b.Images)
+		for i, p := range preds {
+			if b.Labels[i] == target {
+				continue
+			}
+			if p == target {
+				hits++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// NFlip is the paper's bit-flip count: the Hamming distance between the
+// original and modified weight-file codes.
+func NFlip(orig, modified []int8) int {
+	return quant.HammingDistance(orig, modified)
+}
+
+// RMatch computes the DRAM match rate (§V-B):
+//
+//	r_match = n_match/N_flip × (1 − δ/S) × 100
+//
+// where nMatch is the number of required flips that map onto vulnerable
+// cells, nFlip the total required flips, deltaPerPage the average number
+// of accidental flips per target page, and S the bits per page.
+func RMatch(nMatch, nFlip int, deltaPerPage float64) float64 {
+	if nFlip == 0 {
+		return 0
+	}
+	s := float64(quant.PageSize * 8)
+	r := float64(nMatch) / float64(nFlip) * (1 - deltaPerPage/s) * 100
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// ConfusionMatrix counts predictions per (true, predicted) class pair.
+// When trigger is non-nil it is stamped on every sample first.
+func ConfusionMatrix(m *nn.Model, ds *data.Dataset, trigger *data.Trigger) [][]int {
+	k := ds.Classes
+	cm := make([][]int, k)
+	for i := range cm {
+		cm[i] = make([]int, k)
+	}
+	for _, b := range ds.Batches(evalBatch) {
+		if trigger != nil {
+			trigger.Apply(b.Images)
+		}
+		preds := m.Predict(b.Images)
+		for i, p := range preds {
+			cm[b.Labels[i]][p]++
+		}
+	}
+	return cm
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"rowhammer/internal/data"
+	"rowhammer/internal/nn"
+	"rowhammer/internal/quant"
+	"rowhammer/internal/tensor"
+)
+
+// constModel always predicts the class equal to its fixed output.
+func constModel(classes, winner int) *nn.Model {
+	rng := tensor.NewRNG(1)
+	fc := nn.NewLinear("fc", rng, 3*8*8, classes)
+	fc.Weight.W.Zero()
+	fc.Bias.W.Zero()
+	fc.Bias.W.Data()[winner] = 10
+	net := nn.NewSequential(nn.NewFlatten(), fc)
+	return nn.NewModel("const", net, classes, [3]int{3, 8, 8})
+}
+
+func smallDataset(n, classes int) *data.Dataset {
+	cfg := data.SynthConfig{Classes: classes, Samples: n, H: 8, W: 8, Noise: 0.05, Seed: 4}
+	return data.Synthesize(cfg, 9)
+}
+
+func TestTestAccuracyConstModel(t *testing.T) {
+	ds := smallDataset(40, 4)
+	m := constModel(4, 1)
+	got := TestAccuracy(m, ds)
+	// Balanced labels: a constant predictor scores exactly 1/classes.
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("TA = %v, want 0.25", got)
+	}
+}
+
+func TestAttackSuccessRateExcludesTargetClass(t *testing.T) {
+	ds := smallDataset(40, 4)
+	m := constModel(4, 2)
+	tr := data.NewSquareTrigger(3, 8, 8, 2)
+	// The constant model sends everything to class 2, so every
+	// non-class-2 sample counts as a hit: ASR = 1.
+	if got := AttackSuccessRate(m, ds, tr, 2); got != 1 {
+		t.Fatalf("ASR = %v, want 1", got)
+	}
+	// Against a different target nothing hits.
+	if got := AttackSuccessRate(m, ds, tr, 0); got != 0 {
+		t.Fatalf("ASR = %v, want 0", got)
+	}
+}
+
+func TestNFlipMatchesHamming(t *testing.T) {
+	a := []int8{0, 1, 2}
+	b := []int8{1, 1, 3}
+	if NFlip(a, b) != quant.HammingDistance(a, b) {
+		t.Fatal("NFlip must be the Hamming distance")
+	}
+}
+
+func TestRMatchFormula(t *testing.T) {
+	// r = n/N × (1 − δ/S) × 100 with S = 32768 bits.
+	got := RMatch(10, 10, 0)
+	if math.Abs(got-100) > 1e-9 {
+		t.Fatalf("perfect match = %v", got)
+	}
+	got = RMatch(5, 10, 0)
+	if math.Abs(got-50) > 1e-9 {
+		t.Fatalf("half match = %v", got)
+	}
+	// δ = 4 accidental flips per page, the paper's 7-sided figure:
+	// (1 − 4/32768) ≈ 0.99988.
+	got = RMatch(10, 10, 4)
+	if math.Abs(got-99.9878) > 0.01 {
+		t.Fatalf("with δ=4: %v", got)
+	}
+	if RMatch(0, 0, 0) != 0 {
+		t.Fatal("zero flips must give zero rate")
+	}
+	if RMatch(1, 1, 1e9) != 0 {
+		t.Fatal("absurd δ must clamp at zero")
+	}
+}
+
+func TestConfusionMatrixDiagonalAndTrigger(t *testing.T) {
+	ds := smallDataset(40, 4)
+	m := constModel(4, 3)
+	cm := ConfusionMatrix(m, ds, nil)
+	for truth := 0; truth < 4; truth++ {
+		for pred := 0; pred < 4; pred++ {
+			want := 0
+			if pred == 3 {
+				want = 10
+			}
+			if cm[truth][pred] != want {
+				t.Fatalf("cm[%d][%d] = %d, want %d", truth, pred, cm[truth][pred], want)
+			}
+		}
+	}
+	tr := data.NewSquareTrigger(3, 8, 8, 2)
+	cm2 := ConfusionMatrix(m, ds, tr)
+	total := 0
+	for _, row := range cm2 {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != ds.Len() {
+		t.Fatalf("triggered confusion matrix covers %d samples", total)
+	}
+}
+
+func TestTestAccuracyEmptyDataset(t *testing.T) {
+	m := constModel(3, 0)
+	empty := &data.Dataset{Images: tensor.New(1, 3, 8, 8), Labels: nil, Classes: 3}
+	// Zero labeled samples → zero accuracy, no panic.
+	if got := TestAccuracy(m, &data.Dataset{Images: empty.Images.Reshape(1, 3, 8, 8), Labels: []int{}, Classes: 3}); got != 0 {
+		t.Fatalf("TA on empty = %v", got)
+	}
+}

@@ -1,0 +1,133 @@
+package models
+
+import (
+	"fmt"
+
+	"rowhammer/internal/nn"
+	"rowhammer/internal/tensor"
+)
+
+// BinConv2D is a binarization-aware convolution: the forward pass uses
+// sign(W)·α (α = mean |W| per output filter, XNOR-Net style), while the
+// backward pass applies the straight-through estimator to the latent
+// float weights. In a deployed binarized model each filter's weights
+// occupy single bits, which is what makes the binarization-aware
+// countermeasure shrink the memory footprint (and with it the maximum
+// feasible N_flip).
+type BinConv2D struct {
+	inner *nn.Conv2D
+}
+
+var _ nn.Layer = (*BinConv2D)(nil)
+
+// NewBinConv2D constructs a binarization-aware convolution layer.
+func NewBinConv2D(name string, rng *tensor.RNG, inC, outC, k, stride, pad int) *BinConv2D {
+	return &BinConv2D{inner: nn.NewConv2D(name, rng, inC, outC, k, stride, pad, false)}
+}
+
+// binarize replaces the inner weights with sign(W)·α and returns the
+// saved latent weights.
+func (b *BinConv2D) binarize() []float32 {
+	w := b.inner.Weight.W
+	saved := append([]float32(nil), w.Data()...)
+	outC := w.Dim(0)
+	perFilter := w.Len() / outC
+	d := w.Data()
+	for oc := 0; oc < outC; oc++ {
+		seg := d[oc*perFilter : (oc+1)*perFilter]
+		var sum float64
+		for _, v := range seg {
+			if v < 0 {
+				sum -= float64(v)
+			} else {
+				sum += float64(v)
+			}
+		}
+		alpha := float32(sum / float64(perFilter))
+		for i, v := range seg {
+			if v >= 0 {
+				seg[i] = alpha
+			} else {
+				seg[i] = -alpha
+			}
+		}
+	}
+	return saved
+}
+
+// Forward implements nn.Layer.
+func (b *BinConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	saved := b.binarize()
+	out := b.inner.Forward(x, train)
+	copy(b.inner.Weight.W.Data(), saved)
+	return out
+}
+
+// Backward implements nn.Layer with the straight-through estimator:
+// gradients computed against the binarized weights flow unchanged to
+// the latent weights, masked to |w| ≤ 1 (the canonical STE clip).
+func (b *BinConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	saved := b.binarize()
+	gradIn := b.inner.Backward(grad)
+	w := b.inner.Weight.W.Data()
+	copy(w, saved)
+	g := b.inner.Weight.G.Data()
+	for i, v := range w {
+		if v > 1 || v < -1 {
+			g[i] = 0
+		}
+	}
+	return gradIn
+}
+
+// Params implements nn.Layer.
+func (b *BinConv2D) Params() []*nn.Param { return b.inner.Params() }
+
+// binBasicBlock is a basic residual block with binarized convolutions.
+func binBasicBlock(name string, rng *tensor.RNG, in, out, stride int) nn.Layer {
+	main := nn.NewSequential(
+		NewBinConv2D(name+".conv1", rng, in, out, 3, stride, 1),
+		nn.NewBatchNorm2D(name+".bn1", out),
+		nn.NewReLU(),
+		NewBinConv2D(name+".conv2", rng, out, out, 3, 1, 1),
+		nn.NewBatchNorm2D(name+".bn2", out),
+	)
+	var shortcut nn.Layer
+	if stride != 1 || in != out {
+		shortcut = nn.NewSequential(
+			NewBinConv2D(name+".downsample.0", rng, in, out, 1, stride, 0),
+			nn.NewBatchNorm2D(name+".downsample.1", out),
+		)
+	}
+	return nn.NewResidual(main, shortcut)
+}
+
+// BinarizedResNetCIFAR builds a CIFAR-style ResNet whose convolutions
+// are binarization-aware (the §VI-A countermeasure).
+func BinarizedResNetCIFAR(depth, classes int, widthMult float64, seed int64) (*nn.Model, error) {
+	if (depth-2)%6 != 0 {
+		return nil, fmt.Errorf("models: CIFAR ResNet depth must be 6n+2, got %d", depth)
+	}
+	n := (depth - 2) / 6
+	rng := tensor.NewRNG(seed)
+	widths := []int{scaleWidth(16, widthMult), scaleWidth(32, widthMult), scaleWidth(64, widthMult)}
+	net := nn.NewSequential(
+		nn.NewConv2D("conv1", rng, 3, widths[0], 3, 1, 1, false), // stem stays full precision
+		nn.NewBatchNorm2D("bn1", widths[0]),
+		nn.NewReLU(),
+	)
+	in := widths[0]
+	for stage := 0; stage < 3; stage++ {
+		for b := 0; b < n; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			name := fmt.Sprintf("layer%d.%d", stage+1, b)
+			net.Append(binBasicBlock(name, rng, in, widths[stage], stride))
+			in = widths[stage]
+		}
+	}
+	net.Append(nn.NewGlobalAvgPool(), nn.NewLinear("fc", rng, in, classes))
+	return nn.NewModel(fmt.Sprintf("bin-resnet%d", depth), net, classes, [3]int{3, 32, 32}), nil
+}

@@ -1,0 +1,60 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"rowhammer/internal/nn"
+)
+
+// Config selects an architecture instance.
+type Config struct {
+	// Arch is one of the registered architecture names, e.g. "resnet20".
+	Arch string
+	// Classes is the classifier output size.
+	Classes int
+	// WidthMult scales channel counts (1.0 = paper-faithful widths).
+	WidthMult float64
+	// Seed drives deterministic weight initialization.
+	Seed int64
+}
+
+type builder func(classes int, widthMult float64, seed int64) (*nn.Model, error)
+
+var registry = map[string]builder{
+	"resnet20": func(c int, w float64, s int64) (*nn.Model, error) { return ResNetCIFAR(20, c, w, s) },
+	"resnet32": func(c int, w float64, s int64) (*nn.Model, error) { return ResNetCIFAR(32, c, w, s) },
+	"resnet18": func(c int, w float64, s int64) (*nn.Model, error) { return ResNetBasic(18, c, w, s) },
+	"resnet34": func(c int, w float64, s int64) (*nn.Model, error) { return ResNetBasic(34, c, w, s) },
+	"resnet50": func(c int, w float64, s int64) (*nn.Model, error) { return ResNetBottleneck(50, c, w, s) },
+	"vgg11":    func(c int, w float64, s int64) (*nn.Model, error) { return VGG(11, c, w, s) },
+	"vgg16":    func(c int, w float64, s int64) (*nn.Model, error) { return VGG(16, c, w, s) },
+	"bin-resnet32": func(c int, w float64, s int64) (*nn.Model, error) {
+		return BinarizedResNetCIFAR(32, c, w, s)
+	},
+}
+
+// Build constructs the model named by cfg.Arch.
+func Build(cfg Config) (*nn.Model, error) {
+	b, ok := registry[cfg.Arch]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown architecture %q (have %v)", cfg.Arch, Names())
+	}
+	if cfg.WidthMult <= 0 {
+		cfg.WidthMult = 1
+	}
+	if cfg.Classes <= 0 {
+		return nil, fmt.Errorf("models: classes must be positive, got %d", cfg.Classes)
+	}
+	return b(cfg.Classes, cfg.WidthMult, cfg.Seed)
+}
+
+// Names lists the registered architectures in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,174 @@
+// Package models builds the DNN architectures the paper attacks:
+// CIFAR-style ResNet-20/32, ImageNet-style ResNet-18/34/50 (adapted to
+// 32×32 inputs), VGG-11/16, and a binarized ResNet used by the
+// binarization-aware-training countermeasure.
+//
+// Every builder accepts a width multiplier so experiments can trade
+// fidelity (true channel counts, true page counts) against CPU runtime;
+// the parameter *ordering* — the property the page-grouping constraint
+// of the attack depends on — is identical at every width.
+package models
+
+import (
+	"fmt"
+
+	"rowhammer/internal/nn"
+	"rowhammer/internal/tensor"
+)
+
+// scaleWidth applies the width multiplier with a floor of 4 channels.
+func scaleWidth(w int, mult float64) int {
+	s := int(float64(w) * mult)
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// basicBlock builds a 3×3+3×3 residual block (ResNet-18/20/32/34 style).
+func basicBlock(name string, rng *tensor.RNG, in, out, stride int) nn.Layer {
+	main := nn.NewSequential(
+		nn.NewConv2D(name+".conv1", rng, in, out, 3, stride, 1, false),
+		nn.NewBatchNorm2D(name+".bn1", out),
+		nn.NewReLU(),
+		nn.NewConv2D(name+".conv2", rng, out, out, 3, 1, 1, false),
+		nn.NewBatchNorm2D(name+".bn2", out),
+	)
+	var shortcut nn.Layer
+	if stride != 1 || in != out {
+		shortcut = nn.NewSequential(
+			nn.NewConv2D(name+".downsample.0", rng, in, out, 1, stride, 0, false),
+			nn.NewBatchNorm2D(name+".downsample.1", out),
+		)
+	}
+	return nn.NewResidual(main, shortcut)
+}
+
+// bottleneckBlock builds a 1×1-3×3-1×1 residual block (ResNet-50 style)
+// with expansion factor 4.
+func bottleneckBlock(name string, rng *tensor.RNG, in, mid, stride int) nn.Layer {
+	out := mid * 4
+	main := nn.NewSequential(
+		nn.NewConv2D(name+".conv1", rng, in, mid, 1, 1, 0, false),
+		nn.NewBatchNorm2D(name+".bn1", mid),
+		nn.NewReLU(),
+		nn.NewConv2D(name+".conv2", rng, mid, mid, 3, stride, 1, false),
+		nn.NewBatchNorm2D(name+".bn2", mid),
+		nn.NewReLU(),
+		nn.NewConv2D(name+".conv3", rng, mid, out, 1, 1, 0, false),
+		nn.NewBatchNorm2D(name+".bn3", out),
+	)
+	var shortcut nn.Layer
+	if stride != 1 || in != out {
+		shortcut = nn.NewSequential(
+			nn.NewConv2D(name+".downsample.0", rng, in, out, 1, stride, 0, false),
+			nn.NewBatchNorm2D(name+".downsample.1", out),
+		)
+	}
+	return nn.NewResidual(main, shortcut)
+}
+
+// ResNetCIFAR builds the CIFAR-style ResNet of He et al. with
+// depth = 6n+2 (20, 32, ...) for 3×32×32 inputs.
+func ResNetCIFAR(depth, classes int, widthMult float64, seed int64) (*nn.Model, error) {
+	if (depth-2)%6 != 0 {
+		return nil, fmt.Errorf("models: CIFAR ResNet depth must be 6n+2, got %d", depth)
+	}
+	n := (depth - 2) / 6
+	rng := tensor.NewRNG(seed)
+	widths := []int{scaleWidth(16, widthMult), scaleWidth(32, widthMult), scaleWidth(64, widthMult)}
+
+	net := nn.NewSequential(
+		nn.NewConv2D("conv1", rng, 3, widths[0], 3, 1, 1, false),
+		nn.NewBatchNorm2D("bn1", widths[0]),
+		nn.NewReLU(),
+	)
+	in := widths[0]
+	for stage := 0; stage < 3; stage++ {
+		for b := 0; b < n; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			name := fmt.Sprintf("layer%d.%d", stage+1, b)
+			net.Append(basicBlock(name, rng, in, widths[stage], stride))
+			in = widths[stage]
+		}
+	}
+	net.Append(nn.NewGlobalAvgPool(), nn.NewLinear("fc", rng, in, classes))
+	return nn.NewModel(fmt.Sprintf("resnet%d", depth), net, classes, [3]int{3, 32, 32}), nil
+}
+
+// ResNetBasic builds an ImageNet-style basic-block ResNet (18 or 34)
+// adapted to 32×32 inputs (3×3 stem, no max pool), the standard CIFAR
+// adaptation used by the reference repository the paper takes its
+// ResNet-18 weights from.
+func ResNetBasic(depth, classes int, widthMult float64, seed int64) (*nn.Model, error) {
+	var blocks []int
+	switch depth {
+	case 18:
+		blocks = []int{2, 2, 2, 2}
+	case 34:
+		blocks = []int{3, 4, 6, 3}
+	default:
+		return nil, fmt.Errorf("models: basic-block ResNet depth must be 18 or 34, got %d", depth)
+	}
+	rng := tensor.NewRNG(seed)
+	widths := []int{
+		scaleWidth(64, widthMult), scaleWidth(128, widthMult),
+		scaleWidth(256, widthMult), scaleWidth(512, widthMult),
+	}
+	net := nn.NewSequential(
+		nn.NewConv2D("conv1", rng, 3, widths[0], 3, 1, 1, false),
+		nn.NewBatchNorm2D("bn1", widths[0]),
+		nn.NewReLU(),
+	)
+	in := widths[0]
+	for stage := 0; stage < 4; stage++ {
+		for b := 0; b < blocks[stage]; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			name := fmt.Sprintf("layer%d.%d", stage+1, b)
+			net.Append(basicBlock(name, rng, in, widths[stage], stride))
+			in = widths[stage]
+		}
+	}
+	net.Append(nn.NewGlobalAvgPool(), nn.NewLinear("fc", rng, in, classes))
+	return nn.NewModel(fmt.Sprintf("resnet%d", depth), net, classes, [3]int{3, 32, 32}), nil
+}
+
+// ResNetBottleneck builds a bottleneck ResNet (50) adapted to 32×32
+// inputs.
+func ResNetBottleneck(depth, classes int, widthMult float64, seed int64) (*nn.Model, error) {
+	if depth != 50 {
+		return nil, fmt.Errorf("models: bottleneck ResNet depth must be 50, got %d", depth)
+	}
+	blocks := []int{3, 4, 6, 3}
+	rng := tensor.NewRNG(seed)
+	mids := []int{
+		scaleWidth(64, widthMult), scaleWidth(128, widthMult),
+		scaleWidth(256, widthMult), scaleWidth(512, widthMult),
+	}
+	stem := scaleWidth(64, widthMult)
+	net := nn.NewSequential(
+		nn.NewConv2D("conv1", rng, 3, stem, 3, 1, 1, false),
+		nn.NewBatchNorm2D("bn1", stem),
+		nn.NewReLU(),
+	)
+	in := stem
+	for stage := 0; stage < 4; stage++ {
+		for b := 0; b < blocks[stage]; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			name := fmt.Sprintf("layer%d.%d", stage+1, b)
+			net.Append(bottleneckBlock(name, rng, in, mids[stage], stride))
+			in = mids[stage] * 4
+		}
+	}
+	net.Append(nn.NewGlobalAvgPool(), nn.NewLinear("fc", rng, in, classes))
+	return nn.NewModel("resnet50", net, classes, [3]int{3, 32, 32}), nil
+}

@@ -1,0 +1,45 @@
+package models
+
+import (
+	"fmt"
+
+	"rowhammer/internal/nn"
+	"rowhammer/internal/tensor"
+)
+
+// vggConfigs describes the feature stacks: positive values are conv
+// output widths, -1 is a 2×2 max pool.
+var vggConfigs = map[int][]int{
+	11: {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1},
+	16: {64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1, 512, 512, 512, -1},
+}
+
+// VGG builds a batch-normalized VGG-11 or VGG-16 for 3×32×32 inputs.
+func VGG(depth, classes int, widthMult float64, seed int64) (*nn.Model, error) {
+	cfg, ok := vggConfigs[depth]
+	if !ok {
+		return nil, fmt.Errorf("models: VGG depth must be 11 or 16, got %d", depth)
+	}
+	rng := tensor.NewRNG(seed)
+	net := nn.NewSequential()
+	in := 3
+	convIdx := 0
+	for _, v := range cfg {
+		if v == -1 {
+			net.Append(nn.NewMaxPool2D(2, 2))
+			continue
+		}
+		out := scaleWidth(v, widthMult)
+		name := fmt.Sprintf("features.%d", convIdx)
+		net.Append(
+			nn.NewConv2D(name, rng, in, out, 3, 1, 1, true),
+			nn.NewBatchNorm2D(name+".bn", out),
+			nn.NewReLU(),
+		)
+		in = out
+		convIdx++
+	}
+	// After five pools a 32×32 input is 1×1 spatially.
+	net.Append(nn.NewFlatten(), nn.NewLinear("classifier", rng, in, classes))
+	return nn.NewModel(fmt.Sprintf("vgg%d", depth), net, classes, [3]int{3, 32, 32}), nil
+}

@@ -1,0 +1,241 @@
+package nn
+
+import (
+	"math"
+
+	"rowhammer/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel over the batch and spatial
+// dimensions, with learnable per-channel scale (gamma) and shift (beta).
+// Running statistics are tracked for inference.
+type BatchNorm2D struct {
+	Gamma *Param
+	Beta  *Param
+
+	// RunningMean and RunningVar are the exponential-moving-average
+	// inference statistics. They are buffers, not trainable parameters,
+	// so they do not appear in the attacked weight file.
+	RunningMean []float32
+	RunningVar  []float32
+
+	// Frozen makes training-mode forwards normalize with the running
+	// statistics (and keeps them fixed) instead of batch statistics —
+	// the deployed-model fine-tuning mode the attack uses.
+	Frozen bool
+
+	channels int
+	momentum float32
+	eps      float32
+
+	// Backward caches.
+	lastInput  *tensor.Tensor
+	lastXHat   []float32
+	lastMean   []float32
+	lastIStd   []float32
+	lastN      int
+	lastHW     int
+	lastFrozen bool
+}
+
+var _ Layer = (*BatchNorm2D)(nil)
+
+// NewBatchNorm2D constructs batch norm for the given channel count with
+// gamma=1, beta=0, and identity running statistics.
+func NewBatchNorm2D(name string, channels int) *BatchNorm2D {
+	gamma := tensor.New(channels)
+	gamma.Fill(1)
+	rv := make([]float32, channels)
+	for i := range rv {
+		rv[i] = 1
+	}
+	return &BatchNorm2D{
+		Gamma:       NewParam(name+".weight", gamma),
+		Beta:        NewParam(name+".bias", tensor.New(channels)),
+		RunningMean: make([]float32, channels),
+		RunningVar:  rv,
+		channels:    channels,
+		momentum:    0.1,
+		eps:         1e-5,
+	}
+}
+
+// Forward implements Layer for input (N, C, H, W).
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	hw := h * w
+	out := tensor.New(n, c, h, w)
+	xd, od := x.Data(), out.Data()
+	gd, bd := b.Gamma.W.Data(), b.Beta.W.Data()
+
+	if !train {
+		batchParallel(c, func(lo, hi int) {
+			for ch := lo; ch < hi; ch++ {
+				istd := float32(1 / math.Sqrt(float64(b.RunningVar[ch])+float64(b.eps)))
+				mean := b.RunningMean[ch]
+				scale := gd[ch] * istd
+				shift := bd[ch] - mean*scale
+				for i := 0; i < n; i++ {
+					base := (i*c + ch) * hw
+					for j := 0; j < hw; j++ {
+						od[base+j] = xd[base+j]*scale + shift
+					}
+				}
+			}
+		})
+		return out
+	}
+
+	if b.Frozen {
+		// Frozen training mode: normalize with running statistics but
+		// cache x̂ so Backward can produce gradients. Running stats are
+		// not updated.
+		b.lastN, b.lastHW = n, hw
+		b.lastFrozen = true
+		if cap(b.lastXHat) < len(xd) {
+			b.lastXHat = make([]float32, len(xd))
+		}
+		b.lastXHat = b.lastXHat[:len(xd)]
+		if b.lastIStd == nil {
+			b.lastIStd = make([]float32, c)
+		}
+		batchParallel(c, func(lo, hi int) {
+			for ch := lo; ch < hi; ch++ {
+				istd := float32(1 / math.Sqrt(float64(b.RunningVar[ch])+float64(b.eps)))
+				b.lastIStd[ch] = istd
+				mean := b.RunningMean[ch]
+				g, bt := gd[ch], bd[ch]
+				for i := 0; i < n; i++ {
+					base := (i*c + ch) * hw
+					for j := 0; j < hw; j++ {
+						xh := (xd[base+j] - mean) * istd
+						b.lastXHat[base+j] = xh
+						od[base+j] = g*xh + bt
+					}
+				}
+			}
+		})
+		return out
+	}
+
+	b.lastFrozen = false
+	b.lastInput = x
+	b.lastN, b.lastHW = n, hw
+	b.lastXHat = make([]float32, len(xd))
+	b.lastMean = make([]float32, c)
+	b.lastIStd = make([]float32, c)
+	count := float32(n * hw)
+
+	batchParallel(c, func(lo, hi int) {
+		for ch := lo; ch < hi; ch++ {
+			var sum, sqSum float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * hw
+				for j := 0; j < hw; j++ {
+					v := float64(xd[base+j])
+					sum += v
+					sqSum += v * v
+				}
+			}
+			mean := float32(sum / float64(count))
+			variance := float32(sqSum/float64(count)) - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			istd := float32(1 / math.Sqrt(float64(variance)+float64(b.eps)))
+			b.lastMean[ch] = mean
+			b.lastIStd[ch] = istd
+			b.RunningMean[ch] = (1-b.momentum)*b.RunningMean[ch] + b.momentum*mean
+			b.RunningVar[ch] = (1-b.momentum)*b.RunningVar[ch] + b.momentum*variance
+
+			g, bt := gd[ch], bd[ch]
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * hw
+				for j := 0; j < hw; j++ {
+					xh := (xd[base+j] - mean) * istd
+					b.lastXHat[base+j] = xh
+					od[base+j] = g*xh + bt
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer using the standard batch-norm gradient, or
+// the simpler frozen-statistics gradient when the forward pass ran with
+// Frozen set.
+func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if b.lastFrozen {
+		return b.backwardFrozen(grad)
+	}
+	n, c, hw := b.lastN, b.channels, b.lastHW
+	gradIn := tensor.New(grad.Shape()...)
+	gd := grad.Data()
+	gid := gradIn.Data()
+	gamma := b.Gamma.W.Data()
+	gGamma := b.Gamma.G.Data()
+	gBeta := b.Beta.G.Data()
+	count := float32(n * hw)
+
+	batchParallel(c, func(lo, hi int) {
+		for ch := lo; ch < hi; ch++ {
+			var sumG, sumGX float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * hw
+				for j := 0; j < hw; j++ {
+					g := float64(gd[base+j])
+					sumG += g
+					sumGX += g * float64(b.lastXHat[base+j])
+				}
+			}
+			gBeta[ch] += float32(sumG)
+			gGamma[ch] += float32(sumGX)
+
+			coef := gamma[ch] * b.lastIStd[ch]
+			meanG := float32(sumG) / count
+			meanGX := float32(sumGX) / count
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * hw
+				for j := 0; j < hw; j++ {
+					xh := b.lastXHat[base+j]
+					gid[base+j] = coef * (gd[base+j] - meanG - xh*meanGX)
+				}
+			}
+		}
+	})
+	return gradIn
+}
+
+// backwardFrozen propagates gradients through a frozen-statistics
+// normalization: y = γ·(x−μ_run)·istd + β, so dx = γ·istd·dy with no
+// batch-coupling terms.
+func (b *BatchNorm2D) backwardFrozen(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, hw := b.lastN, b.channels, b.lastHW
+	gradIn := tensor.New(grad.Shape()...)
+	gd, gid := grad.Data(), gradIn.Data()
+	gamma := b.Gamma.W.Data()
+	gGamma := b.Gamma.G.Data()
+	gBeta := b.Beta.G.Data()
+	batchParallel(c, func(lo, hi int) {
+		for ch := lo; ch < hi; ch++ {
+			coef := gamma[ch] * b.lastIStd[ch]
+			var sumG, sumGX float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * hw
+				for j := 0; j < hw; j++ {
+					g := gd[base+j]
+					sumG += float64(g)
+					sumGX += float64(g) * float64(b.lastXHat[base+j])
+					gid[base+j] = coef * g
+				}
+			}
+			gBeta[ch] += float32(sumG)
+			gGamma[ch] += float32(sumGX)
+		}
+	})
+	return gradIn
+}
+
+// Params implements Layer.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }

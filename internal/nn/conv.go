@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"sync"
+
+	"rowhammer/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution with square-independent kernel size,
+// stride and zero padding. The weight layout is (OutC, InC, KH, KW),
+// matching the PyTorch state-dict layout the paper's weight files use.
+type Conv2D struct {
+	Weight *Param
+	Bias   *Param // nil when the layer is bias-free (ResNet convs)
+
+	inC, outC          int
+	kh, kw             int
+	stride, pad        int
+	lastInput          *tensor.Tensor
+	lastH, lastW       int
+	lastOutH, lastOutW int
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D constructs a convolution layer with Kaiming-initialized
+// weights. Set withBias to false for convolutions followed by batch
+// norm.
+func NewConv2D(name string, rng *tensor.RNG, inC, outC, k, stride, pad int, withBias bool) *Conv2D {
+	w := tensor.New(outC, inC, k, k)
+	rng.KaimingNormal(w, inC*k*k)
+	c := &Conv2D{
+		Weight: NewParam(name+".weight", w),
+		inC:    inC, outC: outC,
+		kh: k, kw: k,
+		stride: stride, pad: pad,
+	}
+	if withBias {
+		c.Bias = NewParam(name+".bias", tensor.New(outC))
+	}
+	return c
+}
+
+// OutSize returns the spatial output size for an input of h×w.
+func (c *Conv2D) OutSize(h, w int) (oh, ow int) {
+	return (h+2*c.pad-c.kh)/c.stride + 1, (w+2*c.pad-c.kw)/c.stride + 1
+}
+
+// Forward implements Layer for input (N, InC, H, W).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.OutSize(h, w)
+	c.lastInput, c.lastH, c.lastW, c.lastOutH, c.lastOutW = x, h, w, oh, ow
+
+	out := tensor.New(n, c.outC, oh, ow)
+	wMat := c.Weight.W.Reshape(c.outC, c.inC*c.kh*c.kw)
+	imgLen := c.inC * h * w
+	outLen := c.outC * oh * ow
+	colLen := tensor.ColBufLen(c.inC, h, w, c.kh, c.kw, c.stride, c.pad)
+
+	batchParallel(n, func(lo, hi int) {
+		col := make([]float32, colLen)
+		for i := lo; i < hi; i++ {
+			img := x.Data()[i*imgLen : (i+1)*imgLen]
+			tensor.Im2Col(img, c.inC, h, w, c.kh, c.kw, c.stride, c.pad, col)
+			colT := tensor.FromSlice(col, c.inC*c.kh*c.kw, oh*ow)
+			dst := tensor.FromSlice(out.Data()[i*outLen:(i+1)*outLen], c.outC, oh*ow)
+			tensor.MatMulInto(dst, wMat, colT)
+			if c.Bias != nil {
+				bd := c.Bias.W.Data()
+				od := dst.Data()
+				for oc := 0; oc < c.outC; oc++ {
+					b := bd[oc]
+					row := od[oc*oh*ow : (oc+1)*oh*ow]
+					for j := range row {
+						row[j] += b
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer. The im2col buffers are recomputed rather
+// than cached so a full batch does not hold N column matrices alive.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastInput
+	n, h, w := x.Dim(0), c.lastH, c.lastW
+	oh, ow := c.lastOutH, c.lastOutW
+	imgLen := c.inC * h * w
+	outLen := c.outC * oh * ow
+	ckk := c.inC * c.kh * c.kw
+	colLen := tensor.ColBufLen(c.inC, h, w, c.kh, c.kw, c.stride, c.pad)
+
+	gradIn := tensor.New(n, c.inC, h, w)
+	wMat := c.Weight.W.Reshape(c.outC, ckk)
+	gW := c.Weight.G.Reshape(c.outC, ckk)
+
+	var mu sync.Mutex
+	batchParallel(n, func(lo, hi int) {
+		col := make([]float32, colLen)
+		gradCol := tensor.New(ckk, oh*ow)
+		localGW := tensor.New(c.outC, ckk)
+		tmpGW := tensor.New(c.outC, ckk)
+		var localGB []float32
+		if c.Bias != nil {
+			localGB = make([]float32, c.outC)
+		}
+		for i := lo; i < hi; i++ {
+			img := x.Data()[i*imgLen : (i+1)*imgLen]
+			tensor.Im2Col(img, c.inC, h, w, c.kh, c.kw, c.stride, c.pad, col)
+			colT := tensor.FromSlice(col, ckk, oh*ow)
+			g := tensor.FromSlice(grad.Data()[i*outLen:(i+1)*outLen], c.outC, oh*ow)
+
+			// dW += g · colᵀ
+			tensor.MatMulABTInto(tmpGW, g, colT)
+			localGW.AddScaled(tmpGW, 1)
+
+			// dCol = Wᵀ · g, scattered back to the input image.
+			tensor.MatMulATBInto(gradCol, wMat, g)
+			tensor.Col2Im(gradCol.Data(), c.inC, h, w, c.kh, c.kw, c.stride, c.pad,
+				gradIn.Data()[i*imgLen:(i+1)*imgLen])
+
+			if c.Bias != nil {
+				gd := g.Data()
+				for oc := 0; oc < c.outC; oc++ {
+					row := gd[oc*oh*ow : (oc+1)*oh*ow]
+					var s float32
+					for _, v := range row {
+						s += v
+					}
+					localGB[oc] += s
+				}
+			}
+		}
+		mu.Lock()
+		gW.AddScaled(localGW, 1)
+		if c.Bias != nil {
+			bg := c.Bias.G.Data()
+			for i, v := range localGB {
+				bg[i] += v
+			}
+		}
+		mu.Unlock()
+	})
+	return gradIn
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.Bias != nil {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}

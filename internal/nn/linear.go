@@ -1,0 +1,74 @@
+package nn
+
+import "rowhammer/internal/tensor"
+
+// Linear is a fully connected layer. The weight layout is (Out, In),
+// matching the PyTorch state-dict layout.
+type Linear struct {
+	Weight *Param
+	Bias   *Param
+
+	in, out   int
+	lastInput *tensor.Tensor
+}
+
+var _ Layer = (*Linear)(nil)
+
+// NewLinear constructs a fully connected layer with Kaiming-initialized
+// weights and a zero bias.
+func NewLinear(name string, rng *tensor.RNG, in, out int) *Linear {
+	w := tensor.New(out, in)
+	rng.KaimingNormal(w, in)
+	return &Linear{
+		Weight: NewParam(name+".weight", w),
+		Bias:   NewParam(name+".bias", tensor.New(out)),
+		in:     in, out: out,
+	}
+}
+
+// Forward implements Layer for input (N, In); returns (N, Out).
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.lastInput = x
+	n := x.Dim(0)
+	y := tensor.New(n, l.out)
+	// y = x · Wᵀ
+	tensor.MatMulABTInto(y, x, l.Weight.W)
+	bd := l.Bias.W.Data()
+	yd := y.Data()
+	for i := 0; i < n; i++ {
+		row := yd[i*l.out : (i+1)*l.out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := l.lastInput
+	n := grad.Dim(0)
+
+	// dW += gradᵀ · x  (Out×In)
+	tmp := tensor.New(l.out, l.in)
+	tensor.MatMulATBInto(tmp, grad, x)
+	l.Weight.G.AddScaled(tmp, 1)
+
+	// db += column sums of grad.
+	gb := l.Bias.G.Data()
+	gd := grad.Data()
+	for i := 0; i < n; i++ {
+		row := gd[i*l.out : (i+1)*l.out]
+		for j := range row {
+			gb[j] += row[j]
+		}
+	}
+
+	// dx = grad · W  (N×In)
+	gradIn := tensor.New(n, l.in)
+	tensor.MatMulInto(gradIn, grad, l.Weight.W)
+	return gradIn
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"math"
+
+	"rowhammer/internal/tensor"
+)
+
+// Softmax writes the row-wise softmax of logits (N, K) into a new
+// tensor.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, k := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, k)
+	ld, od := logits.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		row := ld[i*k : (i+1)*k]
+		dst := od[i*k : (i+1)*k]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - m))
+			dst[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// CrossEntropy computes the mean cross-entropy loss of logits (N, K)
+// against integer labels, and the gradient dLoss/dLogits, optionally
+// scaled by weight (used for the α-blended attack objective of Eq. 3).
+func CrossEntropy(logits *tensor.Tensor, labels []int, weight float32) (loss float32, grad *tensor.Tensor) {
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic("nn: label count does not match batch size")
+	}
+	probs := Softmax(logits)
+	grad = tensor.New(n, k)
+	pd, gd := probs.Data(), grad.Data()
+	var total float64
+	invN := weight / float32(n)
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		p := pd[i*k+y]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(float64(p))
+		row := pd[i*k : (i+1)*k]
+		dst := gd[i*k : (i+1)*k]
+		for j := range row {
+			dst[j] = row[j] * invN
+		}
+		dst[y] -= invN
+	}
+	return weight * float32(total) / float32(n), grad
+}
+
+// Accuracy returns the fraction of rows in logits whose argmax equals
+// the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n := logits.Dim(0)
+	correct := 0
+	for i := 0; i < n; i++ {
+		if logits.ArgMaxRow(i) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

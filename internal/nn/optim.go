@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"math"
+
+	"rowhammer/internal/tensor"
+)
+
+// Optimizer updates model parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update from the current gradients. Gradients are
+	// not cleared; call Model.ZeroGrad before the next accumulation.
+	Step()
+}
+
+// SGD is stochastic gradient descent with classical momentum and L2
+// weight decay.
+type SGD struct {
+	params      []*Param
+	lr          float32
+	momentum    float32
+	weightDecay float32
+	velocity    []*tensor.Tensor
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD builds an SGD optimizer over params.
+func NewSGD(params []*Param, lr, momentum, weightDecay float32) *SGD {
+	vel := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		vel[i] = tensor.New(p.W.Shape()...)
+	}
+	return &SGD{params: params, lr: lr, momentum: momentum, weightDecay: weightDecay, velocity: vel}
+}
+
+// SetLR changes the learning rate (for schedules).
+func (s *SGD) SetLR(lr float32) { s.lr = lr }
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		w, g, v := p.W.Data(), p.G.Data(), s.velocity[i].Data()
+		for j := range w {
+			grad := g[j] + s.weightDecay*w[j]
+			v[j] = s.momentum*v[j] + grad
+			w[j] -= s.lr * v[j]
+		}
+	}
+}
+
+// Adam is the Adam optimizer.
+type Adam struct {
+	params []*Param
+	lr     float32
+	beta1  float32
+	beta2  float32
+	eps    float32
+	t      int
+	m, v   []*tensor.Tensor
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam builds an Adam optimizer with the usual defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params []*Param, lr float32) *Adam {
+	m := make([]*tensor.Tensor, len(params))
+	v := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		m[i] = tensor.New(p.W.Shape()...)
+		v[i] = tensor.New(p.W.Shape()...)
+	}
+	return &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: m, v: v}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - float32(math.Pow(float64(a.beta1), float64(a.t)))
+	bc2 := 1 - float32(math.Pow(float64(a.beta2), float64(a.t)))
+	for i, p := range a.params {
+		w, g := p.W.Data(), p.G.Data()
+		m, v := a.m[i].Data(), a.v[i].Data()
+		for j := range w {
+			m[j] = a.beta1*m[j] + (1-a.beta1)*g[j]
+			v[j] = a.beta2*v[j] + (1-a.beta2)*g[j]*g[j]
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			w[j] -= a.lr * mh / (float32(math.Sqrt(float64(vh))) + a.eps)
+		}
+	}
+}

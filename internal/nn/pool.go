@@ -1,0 +1,125 @@
+package nn
+
+import "rowhammer/internal/tensor"
+
+// MaxPool2D is a max pooling layer with square window and equal stride
+// (the VGG configuration: 2×2, stride 2).
+type MaxPool2D struct {
+	k, stride int
+
+	lastShape []int
+	argmax    []int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D returns a max pooling layer with a k×k window and the
+// given stride.
+func NewMaxPool2D(k, stride int) *MaxPool2D {
+	return &MaxPool2D{k: k, stride: stride}
+}
+
+// Forward implements Layer for input (N, C, H, W).
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-m.k)/m.stride + 1
+	ow := (w-m.k)/m.stride + 1
+	m.lastShape = append(m.lastShape[:0], n, c, h, w)
+	out := tensor.New(n, c, oh, ow)
+	if cap(m.argmax) < out.Len() {
+		m.argmax = make([]int, out.Len())
+	}
+	m.argmax = m.argmax[:out.Len()]
+	xd, od := x.Data(), out.Data()
+
+	batchParallel(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			inBase := nc * h * w
+			outBase := nc * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := inBase + oy*m.stride*w + ox*m.stride
+					best := xd[bestIdx]
+					for ky := 0; ky < m.k; ky++ {
+						iy := oy*m.stride + ky
+						for kx := 0; kx < m.k; kx++ {
+							ix := ox*m.stride + kx
+							idx := inBase + iy*w + ix
+							if xd[idx] > best {
+								best = xd[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					o := outBase + oy*ow + ox
+					od[o] = best
+					m.argmax[o] = bestIdx
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer: the gradient routes to the argmax input.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(m.lastShape...)
+	gd, gid := grad.Data(), gradIn.Data()
+	for i, src := range m.argmax {
+		gid[src] += gd[i]
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool averages each channel over its full spatial extent,
+// producing (N, C) from (N, C, H, W) — the ResNet head pooling.
+type GlobalAvgPool struct {
+	lastShape []int
+}
+
+var _ Layer = (*GlobalAvgPool)(nil)
+
+// NewGlobalAvgPool returns a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g.lastShape = append(g.lastShape[:0], n, c, h, w)
+	out := tensor.New(n, c)
+	hw := h * w
+	xd, od := x.Data(), out.Data()
+	inv := 1 / float32(hw)
+	for nc := 0; nc < n*c; nc++ {
+		var s float32
+		base := nc * hw
+		for j := 0; j < hw; j++ {
+			s += xd[base+j]
+		}
+		od[nc] = s * inv
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
+	hw := h * w
+	gradIn := tensor.New(n, c, h, w)
+	gd, gid := grad.Data(), gradIn.Data()
+	inv := 1 / float32(hw)
+	for nc := 0; nc < n*c; nc++ {
+		v := gd[nc] * inv
+		base := nc * hw
+		for j := 0; j < hw; j++ {
+			gid[base+j] = v
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }

@@ -1,0 +1,53 @@
+package nn
+
+import "rowhammer/internal/tensor"
+
+// Tap is a pass-through layer that records the activation flowing
+// forward and the gradient flowing backward at its position — the hook
+// Grad-CAM style attribution needs on the last convolutional feature
+// map.
+type Tap struct {
+	lastForward  *tensor.Tensor
+	lastBackward *tensor.Tensor
+}
+
+var _ Layer = (*Tap)(nil)
+
+// NewTap returns an empty tap.
+func NewTap() *Tap { return &Tap{} }
+
+// Forward implements Layer (identity; records the activation).
+func (t *Tap) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	t.lastForward = x
+	return x
+}
+
+// Backward implements Layer (identity; records the gradient).
+func (t *Tap) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	t.lastBackward = grad
+	return grad
+}
+
+// Params implements Layer.
+func (t *Tap) Params() []*Param { return nil }
+
+// Activation returns the last recorded forward tensor (nil before the
+// first forward pass).
+func (t *Tap) Activation() *tensor.Tensor { return t.lastForward }
+
+// Gradient returns the last recorded backward tensor (nil before the
+// first backward pass).
+func (t *Tap) Gradient() *tensor.Tensor { return t.lastBackward }
+
+// InsertBefore inserts l in front of the first top-level layer matching
+// the predicate and reports whether a position was found. The model's
+// captured parameter list is unaffected (taps have no parameters).
+func (s *Sequential) InsertBefore(match func(Layer) bool, l Layer) bool {
+	for i, child := range s.layers {
+		if match(child) {
+			s.layers = append(s.layers[:i], append([]Layer{l}, s.layers[i:]...)...)
+			return true
+		}
+	}
+	return false
+}

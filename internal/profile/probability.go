@@ -1,0 +1,54 @@
+// Package profile implements the offline memory-templating phase of the
+// attack: Rowhammer profiling of an attacker-owned buffer through the
+// timing side channels, the probability analysis of finding suitable
+// target pages (Eq. 1/2, Figures 9/10), and the placement planner that
+// matches required weight-file bit flips to profiled flippy pages.
+package profile
+
+import "math"
+
+// PageBits is the number of bits in a 4 KB page (the paper's S).
+const PageBits = 4096 * 8
+
+// ProbTargetPage computes Eq. 1: the probability of finding at least one
+// page, among N profiled pages, containing vulnerable cells at k
+// specified offsets flippable 0→1 and l offsets flippable 1→0, when a
+// page has on average n01 cells flippable 0→1 and n10 flippable 1→0 out
+// of S bits.
+func ProbTargetPage(n01, n10 float64, k, l, s, n int) float64 {
+	p := 1.0
+	for i := 0; i < k; i++ {
+		p *= (n01 - float64(i)) / float64(s-i)
+	}
+	for j := 0; j < l; j++ {
+		p *= (n10 - float64(j)) / float64(s-k-j)
+	}
+	if p < 0 {
+		p = 0
+	}
+	return 1 - math.Pow(1-p, float64(n))
+}
+
+// ProbTargetPageApprox computes Eq. 2: the simplified form using the
+// combined per-page flip count nTotal = n01+n10 for kl = k+l required
+// bit offsets.
+func ProbTargetPageApprox(nTotal float64, kl, s, n int) float64 {
+	p := 1.0
+	for i := 0; i < kl; i++ {
+		p *= (nTotal - float64(i)) / float64(s-i)
+	}
+	if p < 0 {
+		p = 0
+	}
+	return 1 - math.Pow(1-p, float64(n))
+}
+
+// ProbSeries evaluates Eq. 2 over a range of page counts, producing one
+// of the Figure 9/10 curves.
+func ProbSeries(nTotal float64, kl, s int, pageCounts []int) []float64 {
+	out := make([]float64, len(pageCounts))
+	for i, n := range pageCounts {
+		out[i] = ProbTargetPageApprox(nTotal, kl, s, n)
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/sidechan"
+)
+
+// CellFlip is one reproducible bit flip within a 4 KB page.
+type CellFlip struct {
+	// Offset is the byte offset within the page.
+	Offset int
+	// Bit is the bit index within that byte (0 = LSB).
+	Bit int
+	// Dir is the flip direction.
+	Dir dram.FlipDirection
+}
+
+// PageFlips is the flip template of one buffer page.
+type PageFlips struct {
+	// BufferPage is the page index within the attacker buffer.
+	BufferPage int
+	// Flips lists the reproducible flips found by profiling.
+	Flips []CellFlip
+}
+
+// VictimRow is one profiled DRAM row: its two OS pages and the
+// aggressor rows that disturb it.
+type VictimRow struct {
+	// Pages are the two page halves of the 8 KB row.
+	Pages [2]PageFlips
+	// AggressorVaddrs are page-aligned virtual addresses, one per
+	// aggressor row, that the online phase hammers. They must stay
+	// mapped in the attacker's address space.
+	AggressorVaddrs []int
+	// Sides is the hammer pattern width used to profile this row.
+	Sides int
+	// Intensity is the normalized hammer intensity used.
+	Intensity float64
+}
+
+// FlipCount returns the total flips across both halves.
+func (v *VictimRow) FlipCount() int {
+	return len(v.Pages[0].Flips) + len(v.Pages[1].Flips)
+}
+
+// Profile is the result of templating an attacker buffer.
+type Profile struct {
+	// BufBase is the buffer's base virtual address.
+	BufBase int
+	// BufPages is the buffer length in pages.
+	BufPages int
+	// Rows lists every profiled victim row (flippy or not).
+	Rows []VictimRow
+	// aggressorPages marks buffer pages that belong to aggressor rows.
+	aggressorPages map[int]bool
+	// victimPages maps buffer page → (row index, half).
+	victimPages map[int][2]int
+}
+
+// Config controls profiling.
+type Config struct {
+	// Sides is the hammer pattern: 2 = double-sided (DDR3), ≥3 =
+	// n-sided (DDR4 with TRR; the paper uses 15 for profiling and 7
+	// online).
+	Sides int
+	// Intensity is the normalized per-aggressor activation budget.
+	Intensity float64
+	// MeasureSeed seeds the side-channel noise.
+	MeasureSeed int64
+	// SkipSpoilerCheck bypasses the contiguity verification (tests).
+	SkipSpoilerCheck bool
+}
+
+// ProfileBuffer templates the attacker buffer: it verifies physical
+// contiguity via SPOILER, groups row chunks into banks via row-buffer
+// conflicts, hammers victim rows with the configured pattern in both
+// data polarities, and records every reproducible flip.
+func ProfileBuffer(sys *memsys.System, attacker *memsys.Process, bufBase, bufPages int, cfg Config) (*Profile, error) {
+	if cfg.Sides < 2 {
+		return nil, fmt.Errorf("profile: need at least 2 sides, got %d", cfg.Sides)
+	}
+	if cfg.Intensity <= 0 || cfg.Intensity > 1 {
+		return nil, fmt.Errorf("profile: intensity must be in (0,1], got %v", cfg.Intensity)
+	}
+	if bufPages%2 != 0 {
+		return nil, fmt.Errorf("profile: buffer must be a whole number of 8KB rows")
+	}
+	meas := sidechan.NewMeasurer(sys, cfg.MeasureSeed)
+
+	// SPOILER resolves contiguity at a 256-page (1 MB) alias period;
+	// buffers smaller than two periods cannot produce the peak
+	// progression the detector needs.
+	if !cfg.SkipSpoilerCheck && bufPages > 2*sidechan.SpoilerAlias {
+		timings, err := meas.SpoilerSweep(attacker, bufBase, bufPages)
+		if err != nil {
+			return nil, fmt.Errorf("profile: spoiler sweep: %w", err)
+		}
+		runs := sidechan.DetectContiguousRuns(timings, sidechan.SpoilerAlias)
+		covered := 0
+		for _, r := range runs {
+			covered += r.Pages
+		}
+		if covered < bufPages/2 {
+			return nil, fmt.Errorf("profile: buffer not physically contiguous (%d of %d pages)", covered, bufPages)
+		}
+	}
+
+	// Row chunks: 8 KB each.
+	numChunks := bufPages / 2
+	chunkVaddrs := make([]int, numChunks)
+	for i := range chunkVaddrs {
+		chunkVaddrs[i] = bufBase + i*dram.RowBytes
+	}
+	clusters, err := meas.ClusterByBank(attacker, chunkVaddrs)
+	if err != nil {
+		return nil, fmt.Errorf("profile: bank clustering: %w", err)
+	}
+
+	p := &Profile{
+		BufBase:        bufBase,
+		BufPages:       bufPages,
+		aggressorPages: make(map[int]bool),
+		victimPages:    make(map[int][2]int),
+	}
+	for _, cluster := range clusters {
+		sort.Ints(cluster) // ascending virtual = ascending row within bank
+		if err := p.profileCluster(sys, attacker, cluster, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// profileCluster hammers every eligible victim row of one same-bank
+// chunk list (sorted by address = consecutive rows).
+func (p *Profile) profileCluster(sys *memsys.System, attacker *memsys.Process, cluster []int, cfg Config) error {
+	if len(cluster) < 3 {
+		return nil
+	}
+	if cfg.Sides == 2 {
+		// Double-sided: every interior row is a victim once.
+		for k := 1; k < len(cluster)-1; k++ {
+			aggrs := []int{cluster[k-1], cluster[k+1]}
+			if err := p.profileVictims(sys, attacker, []int{cluster[k]}, aggrs, cfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// n-sided: alternating aggressor/victim rows, windows of cfg.Sides
+	// aggressors stepped so each odd position is a victim exactly once.
+	window := 2*cfg.Sides - 1
+	for start := 0; start+window <= len(cluster); start += window - 1 {
+		var aggrs, victims []int
+		for i := 0; i < window; i++ {
+			if i%2 == 0 {
+				aggrs = append(aggrs, cluster[start+i])
+			} else {
+				victims = append(victims, cluster[start+i])
+			}
+		}
+		if err := p.profileVictims(sys, attacker, victims, aggrs, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// profileVictims runs one hammer experiment: victims are tested in both
+// data polarities and their flips recorded.
+func (p *Profile) profileVictims(sys *memsys.System, attacker *memsys.Process, victimChunks, aggressorChunks []int, cfg Config) error {
+	fill := func(vaddr int, b byte) error {
+		page := make([]byte, memsys.PageSize)
+		for i := range page {
+			page[i] = b
+		}
+		if err := attacker.Write(vaddr, page); err != nil {
+			return err
+		}
+		return attacker.Write(vaddr+memsys.PageSize, page)
+	}
+
+	rows := make([]VictimRow, len(victimChunks))
+	for vi, vc := range victimChunks {
+		rows[vi] = VictimRow{
+			AggressorVaddrs: append([]int(nil), aggressorChunks...),
+			Sides:           cfg.Sides,
+			Intensity:       cfg.Intensity,
+		}
+		for half := 0; half < 2; half++ {
+			rows[vi].Pages[half].BufferPage = (vc-p.BufBase)/memsys.PageSize + half
+		}
+	}
+
+	for _, polarity := range []byte{0x00, 0xFF} {
+		for _, vc := range victimChunks {
+			if err := fill(vc, polarity); err != nil {
+				return fmt.Errorf("profile: fill victim: %w", err)
+			}
+		}
+		for _, ac := range aggressorChunks {
+			if err := fill(ac, ^polarity); err != nil {
+				return fmt.Errorf("profile: fill aggressor: %w", err)
+			}
+		}
+		if err := HammerRows(sys, attacker, aggressorChunks, cfg.Intensity); err != nil {
+			return err
+		}
+		// Scan victims for flipped bits.
+		for vi, vc := range victimChunks {
+			for half := 0; half < 2; half++ {
+				buf, err := attacker.Read(vc+half*memsys.PageSize, memsys.PageSize)
+				if err != nil {
+					return err
+				}
+				for off, b := range buf {
+					if b == polarity {
+						continue
+					}
+					diff := b ^ polarity
+					for bit := 0; bit < 8; bit++ {
+						if diff&(1<<bit) == 0 {
+							continue
+						}
+						dir := dram.ZeroToOne
+						if polarity == 0xFF {
+							dir = dram.OneToZero
+						}
+						rows[vi].Pages[half].Flips = append(rows[vi].Pages[half].Flips,
+							CellFlip{Offset: off, Bit: bit, Dir: dir})
+					}
+				}
+			}
+		}
+	}
+
+	for _, r := range rows {
+		idx := len(p.Rows)
+		p.Rows = append(p.Rows, r)
+		for half := 0; half < 2; half++ {
+			p.victimPages[r.Pages[half].BufferPage] = [2]int{idx, half}
+		}
+	}
+	for _, ac := range aggressorChunks {
+		base := (ac - p.BufBase) / memsys.PageSize
+		p.aggressorPages[base] = true
+		p.aggressorPages[base+1] = true
+	}
+	return nil
+}
+
+// HammerRows translates page-aligned aggressor addresses and hammers
+// the corresponding DRAM rows. All aggressors must share a bank.
+func HammerRows(sys *memsys.System, p *memsys.Process, aggressorVaddrs []int, intensity float64) error {
+	if len(aggressorVaddrs) == 0 {
+		return fmt.Errorf("profile: no aggressor rows")
+	}
+	geom := sys.Module().Geometry()
+	bank := -1
+	rows := make([]int, 0, len(aggressorVaddrs))
+	for _, va := range aggressorVaddrs {
+		phys, err := p.Translate(va)
+		if err != nil {
+			return fmt.Errorf("profile: aggressor translate: %w", err)
+		}
+		loc := geom.LocOf(phys)
+		if bank == -1 {
+			bank = loc.Bank
+		} else if loc.Bank != bank {
+			return fmt.Errorf("profile: aggressors span banks %d and %d", bank, loc.Bank)
+		}
+		rows = append(rows, loc.Row)
+	}
+	sys.Module().Hammer(bank, rows, intensity)
+	return nil
+}
+
+// TotalFlips counts every recorded flip.
+func (p *Profile) TotalFlips() int {
+	n := 0
+	for i := range p.Rows {
+		n += p.Rows[i].FlipCount()
+	}
+	return n
+}
+
+// FlippyPageCount counts victim pages with at least one flip.
+func (p *Profile) FlippyPageCount() int {
+	n := 0
+	for i := range p.Rows {
+		for half := 0; half < 2; half++ {
+			if len(p.Rows[i].Pages[half].Flips) > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// VictimPageCount counts profiled victim pages.
+func (p *Profile) VictimPageCount() int { return 2 * len(p.Rows) }
+
+// BaitPages returns buffer pages safe to hand to the victim file
+// without them ever being disturbed by the planned hammering: pages
+// outside every hammered victim row and outside those rows' aggressor
+// rows. usedRows marks Profile.Rows indices the online plan hammers.
+func (p *Profile) BaitPages(usedRows map[int]bool) []int {
+	excluded := make(map[int]bool)
+	for ri := range usedRows {
+		if !usedRows[ri] {
+			continue
+		}
+		for half := 0; half < 2; half++ {
+			excluded[p.Rows[ri].Pages[half].BufferPage] = true
+		}
+		for _, ap := range aggressorBufferPages(p, ri) {
+			excluded[ap] = true
+		}
+	}
+	var out []int
+	for page := 0; page < p.BufPages; page++ {
+		if !excluded[page] {
+			out = append(out, page)
+		}
+	}
+	return out
+}
+
+// FlipsPerPageHistogram returns a histogram of flips per victim page
+// (Figure 2 / Figure 6 style data).
+func (p *Profile) FlipsPerPageHistogram() map[int]int {
+	h := make(map[int]int)
+	for i := range p.Rows {
+		for half := 0; half < 2; half++ {
+			h[len(p.Rows[i].Pages[half].Flips)]++
+		}
+	}
+	return h
+}
+
+// AvgFlipsPerPage returns the mean flips per profiled victim page.
+func (p *Profile) AvgFlipsPerPage() float64 {
+	if p.VictimPageCount() == 0 {
+		return 0
+	}
+	return float64(p.TotalFlips()) / float64(p.VictimPageCount())
+}

@@ -1,0 +1,133 @@
+package quant
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Model-file container format. The deployed artifact the victim maps
+// into memory is the raw page-aligned code region (WeightFileBytes);
+// this container wraps it with a header carrying the metadata needed to
+// reload the model (architecture tag, per-tensor scales), the way a
+// real serving stack ships quantized checkpoints.
+//
+// Layout (little endian):
+//
+//	magic   [8]byte  "RHBDQNT1"
+//	arch    uint16-length-prefixed string
+//	tensors uint32   number of parameter tensors
+//	scales  tensors × float32
+//	weights uint32   number of int8 codes
+//	codes   weights × int8, zero-padded to a 4 KB boundary
+var fileMagic = [8]byte{'R', 'H', 'B', 'D', 'Q', 'N', 'T', '1'}
+
+// WriteModelFile serializes the quantizer's current state.
+func (q *Quantizer) WriteModelFile(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, fileMagic); err != nil {
+		return fmt.Errorf("quant: write magic: %w", err)
+	}
+	arch := q.model.Arch
+	if len(arch) > 0xFFFF {
+		return fmt.Errorf("quant: architecture name too long")
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(arch))); err != nil {
+		return fmt.Errorf("quant: write arch length: %w", err)
+	}
+	if _, err := io.WriteString(w, arch); err != nil {
+		return fmt.Errorf("quant: write arch: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(q.scales))); err != nil {
+		return fmt.Errorf("quant: write tensor count: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, q.scales); err != nil {
+		return fmt.Errorf("quant: write scales: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(q.codes))); err != nil {
+		return fmt.Errorf("quant: write weight count: %w", err)
+	}
+	if _, err := w.Write(q.WeightFileBytes()); err != nil {
+		return fmt.Errorf("quant: write codes: %w", err)
+	}
+	return nil
+}
+
+// ModelFile is a parsed container.
+type ModelFile struct {
+	Arch   string
+	Scales []float32
+	Codes  []int8
+}
+
+// ReadModelFile parses a container produced by WriteModelFile.
+func ReadModelFile(r io.Reader) (*ModelFile, error) {
+	var magic [8]byte
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("quant: read magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("quant: bad magic %q", magic)
+	}
+	var archLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &archLen); err != nil {
+		return nil, fmt.Errorf("quant: read arch length: %w", err)
+	}
+	archBuf := make([]byte, archLen)
+	if _, err := io.ReadFull(r, archBuf); err != nil {
+		return nil, fmt.Errorf("quant: read arch: %w", err)
+	}
+	var tensors uint32
+	if err := binary.Read(r, binary.LittleEndian, &tensors); err != nil {
+		return nil, fmt.Errorf("quant: read tensor count: %w", err)
+	}
+	const maxTensors = 1 << 20
+	if tensors > maxTensors {
+		return nil, fmt.Errorf("quant: implausible tensor count %d", tensors)
+	}
+	scales := make([]float32, tensors)
+	if err := binary.Read(r, binary.LittleEndian, scales); err != nil {
+		return nil, fmt.Errorf("quant: read scales: %w", err)
+	}
+	var weights uint32
+	if err := binary.Read(r, binary.LittleEndian, &weights); err != nil {
+		return nil, fmt.Errorf("quant: read weight count: %w", err)
+	}
+	const maxWeights = 1 << 30
+	if weights > maxWeights {
+		return nil, fmt.Errorf("quant: implausible weight count %d", weights)
+	}
+	padded := (int(weights) + PageSize - 1) / PageSize * PageSize
+	raw := make([]byte, padded)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("quant: read codes: %w", err)
+	}
+	codes := make([]int8, weights)
+	for i := range codes {
+		codes[i] = int8(raw[i])
+	}
+	return &ModelFile{Arch: string(archBuf), Scales: scales, Codes: codes}, nil
+}
+
+// ApplyTo loads the file's codes and scales into a quantizer bound to a
+// structurally matching model.
+func (f *ModelFile) ApplyTo(q *Quantizer) error {
+	if len(f.Scales) != len(q.scales) {
+		return fmt.Errorf("quant: file has %d tensors, model has %d", len(f.Scales), len(q.scales))
+	}
+	if len(f.Codes) != len(q.codes) {
+		return fmt.Errorf("quant: file has %d weights, model has %d", len(f.Codes), len(q.codes))
+	}
+	copy(q.scales, f.Scales)
+	q.LoadCodes(f.Codes)
+	return nil
+}
+
+// MarshalModel is a convenience wrapper returning the container bytes.
+func (q *Quantizer) MarshalModel() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := q.WriteModelFile(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

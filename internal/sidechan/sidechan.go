@@ -1,0 +1,194 @@
+// Package sidechan models the two timing side channels the attack's
+// memory templating uses (§IV-A1, Appendix B/C):
+//
+//   - SPOILER: speculative store-load hazards in Intel processors leak
+//     the low 8 bits of page frame numbers, so a sweep over a virtual
+//     buffer shows timing peaks every 256 pages wherever the underlying
+//     physical memory is contiguous (Figure 11).
+//   - Row-buffer conflict: two accesses that hit the same DRAM bank but
+//     different rows evict each other from the row buffer and take ~400
+//     cycles instead of ~300 (Figure 12), revealing bank co-location.
+//
+// The measured quantities are produced by a latency model over the
+// simulated physical address space; attacker code consumes only the
+// timings, never the hidden virtual→physical mapping.
+package sidechan
+
+import (
+	"fmt"
+	"sort"
+
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/tensor"
+)
+
+// Latency model constants (cycles).
+const (
+	// BaseCycles is the access latency without any conflict.
+	BaseCycles = 300
+	// ConflictCycles is the same-bank different-row penalty target
+	// (~400 cycles in Figure 12).
+	ConflictCycles = 400
+	// SpoilerPeakCycles is the store-load hazard penalty on 1 MB
+	// aliasing (Figure 11 peaks).
+	SpoilerPeakCycles = 550
+	// SpoilerAlias is the page-frame aliasing period SPOILER resolves
+	// (8 bits of the PFN → 256 pages = 1 MB).
+	SpoilerAlias = 256
+)
+
+// Measurer performs side-channel timing measurements against a
+// simulated system. Measurement noise is deterministic per seed.
+type Measurer struct {
+	sys *memsys.System
+	rng *tensor.RNG
+}
+
+// NewMeasurer builds a measurer for sys.
+func NewMeasurer(sys *memsys.System, seed int64) *Measurer {
+	return &Measurer{sys: sys, rng: tensor.NewRNG(seed)}
+}
+
+func (m *Measurer) noise(sigma float64) float64 {
+	return m.rng.NormFloat64() * sigma
+}
+
+// RowConflictCycles measures the access-time for the pair (va, vb) in
+// process p: alternating reads of two same-bank, different-row
+// addresses keep evicting the row buffer and run ~100 cycles slower.
+func (m *Measurer) RowConflictCycles(p *memsys.Process, va, vb int) (float64, error) {
+	pa, err := p.Translate(va)
+	if err != nil {
+		return 0, fmt.Errorf("sidechan: %w", err)
+	}
+	pb, err := p.Translate(vb)
+	if err != nil {
+		return 0, fmt.Errorf("sidechan: %w", err)
+	}
+	geom := m.sys.Module().Geometry()
+	la, lb := geom.LocOf(pa), geom.LocOf(pb)
+	mean := float64(BaseCycles)
+	if la.Bank == lb.Bank && la.Row != lb.Row {
+		mean = ConflictCycles
+	}
+	return mean + m.noise(8), nil
+}
+
+// SameBank decides bank co-location from the median of several
+// measurements.
+func (m *Measurer) SameBank(p *memsys.Process, va, vb int) (bool, error) {
+	const trials = 7
+	ts := make([]float64, trials)
+	for i := range ts {
+		t, err := m.RowConflictCycles(p, va, vb)
+		if err != nil {
+			return false, err
+		}
+		ts[i] = t
+	}
+	sort.Float64s(ts)
+	return ts[trials/2] > (BaseCycles+ConflictCycles)/2, nil
+}
+
+// SpoilerSweep measures the SPOILER store-load hazard timing for every
+// page of the buffer at base. Pages whose frame number aliases the
+// first page's frame (mod 256) show a peak.
+func (m *Measurer) SpoilerSweep(p *memsys.Process, base, pages int) ([]float64, error) {
+	if pages <= 0 {
+		return nil, fmt.Errorf("sidechan: non-positive page count %d", pages)
+	}
+	f0, err := p.FrameOf(base)
+	if err != nil {
+		return nil, fmt.Errorf("sidechan: %w", err)
+	}
+	out := make([]float64, pages)
+	for i := 0; i < pages; i++ {
+		f, err := p.FrameOf(base + i*memsys.PageSize)
+		if err != nil {
+			return nil, fmt.Errorf("sidechan: %w", err)
+		}
+		mean := float64(BaseCycles)
+		if f%SpoilerAlias == f0%SpoilerAlias {
+			mean = SpoilerPeakCycles
+		}
+		out[i] = mean + m.noise(15)
+	}
+	return out, nil
+}
+
+// Run is a detected physically contiguous region of a buffer, in pages.
+type Run struct {
+	// StartPage is the first buffer page of the run.
+	StartPage int
+	// Pages is the run length.
+	Pages int
+}
+
+// DetectContiguousRuns interprets a SPOILER sweep: peaks spaced exactly
+// `alias` pages apart indicate physical contiguity. It returns maximal
+// runs covering consecutive equal-spaced peaks. The conservative bound
+// extends each run from its first peak to one alias period past its
+// last peak (clamped to the buffer).
+func DetectContiguousRuns(timings []float64, alias int) []Run {
+	threshold := float64(BaseCycles+SpoilerPeakCycles) / 2
+	var peaks []int
+	for i, t := range timings {
+		if t > threshold {
+			peaks = append(peaks, i)
+		}
+	}
+	var runs []Run
+	i := 0
+	for i < len(peaks) {
+		j := i
+		for j+1 < len(peaks) && peaks[j+1]-peaks[j] == alias {
+			j++
+		}
+		if j > i { // at least two aligned peaks
+			start := peaks[i]
+			end := peaks[j] + alias
+			if end > len(timings) {
+				end = len(timings)
+			}
+			runs = append(runs, Run{StartPage: start, Pages: end - start})
+		}
+		i = j + 1
+	}
+	return runs
+}
+
+// ClusterByBank groups the given page-aligned virtual addresses into
+// same-bank clusters using row-conflict measurements: each address is
+// compared against one representative per existing cluster. The number
+// of clusters equals the number of banks touched.
+func (m *Measurer) ClusterByBank(p *memsys.Process, vaddrs []int) ([][]int, error) {
+	var clusters [][]int
+	for _, va := range vaddrs {
+		placed := false
+		for ci := range clusters {
+			same, err := m.SameBank(p, va, clusters[ci][0])
+			if err != nil {
+				return nil, err
+			}
+			if same {
+				clusters[ci] = append(clusters[ci], va)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, []int{va})
+		}
+	}
+	return clusters, nil
+}
+
+// BankOfOracle exposes the true bank of a virtual address for test
+// validation; attack code must not use it.
+func BankOfOracle(sys *memsys.System, p *memsys.Process, va int) (int, error) {
+	pa, err := p.Translate(va)
+	if err != nil {
+		return 0, err
+	}
+	return sys.Module().Geometry().LocOf(pa).Bank, nil
+}

@@ -1,0 +1,80 @@
+package tensor
+
+// Im2Col lowers a single image (C×H×W, stored as a flat slice) into a
+// column matrix of shape (C*KH*KW) × (OH*OW), so that convolution
+// becomes a matrix multiply against a (M × C*KH*KW) weight matrix.
+// Out-of-bounds taps (zero padding) contribute zeros.
+func Im2Col(img []float32, c, h, w, kh, kw, stride, pad int, dst []float32) (oh, ow int) {
+	oh = (h+2*pad-kh)/stride + 1
+	ow = (w+2*pad-kw)/stride + 1
+	cols := oh * ow
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := base + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							dst[idx] = 0
+						} else {
+							dst[idx] = img[rowBase+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	_ = cols
+	return oh, ow
+}
+
+// Col2Im scatters a column-matrix gradient (C*KH*KW) × (OH*OW) back into
+// an image gradient (C×H×W), accumulating overlapping taps. dst must be
+// zeroed by the caller if accumulation from a clean slate is desired.
+func Col2Im(col []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						idx += ow
+						continue
+					}
+					rowBase := base + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix >= 0 && ix < w {
+							dst[rowBase+ix] += col[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// ColBufLen returns the buffer length Im2Col requires for the given
+// convolution geometry.
+func ColBufLen(c, h, w, kh, kw, stride, pad int) int {
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	return c * kh * kw * oh * ow
+}

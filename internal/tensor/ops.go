@@ -1,0 +1,147 @@
+package tensor
+
+import "math"
+
+// AddInto computes dst = a + b elementwise. All three tensors must share
+// a shape; dst may alias a or b.
+func AddInto(dst, a, b *Tensor) {
+	checkSame3(dst, a, b)
+	da, db, dd := a.data, b.data, dst.data
+	for i := range dd {
+		dd[i] = da[i] + db[i]
+	}
+}
+
+// SubInto computes dst = a - b elementwise.
+func SubInto(dst, a, b *Tensor) {
+	checkSame3(dst, a, b)
+	da, db, dd := a.data, b.data, dst.data
+	for i := range dd {
+		dd[i] = da[i] - db[i]
+	}
+}
+
+// MulInto computes dst = a * b elementwise.
+func MulInto(dst, a, b *Tensor) {
+	checkSame3(dst, a, b)
+	da, db, dd := a.data, b.data, dst.data
+	for i := range dd {
+		dd[i] = da[i] * db[i]
+	}
+}
+
+// Scale multiplies every element of t by s in place.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScaled adds s*o to t in place (axpy). Shapes must match.
+func (t *Tensor) AddScaled(o *Tensor, s float32) {
+	checkSame2(t, o)
+	td, od := t.data, o.data
+	for i := range td {
+		td[i] += s * od[i]
+	}
+}
+
+// Clamp limits every element of t to [lo, hi] in place.
+func (t *Tensor) Clamp(lo, hi float32) {
+	for i, v := range t.data {
+		if v < lo {
+			t.data[i] = lo
+		} else if v > hi {
+			t.data[i] = hi
+		}
+	}
+}
+
+// Sign writes sgn(t) into dst: -1, 0 or +1 per element.
+func Sign(dst, t *Tensor) {
+	checkSame2(dst, t)
+	for i, v := range t.data {
+		switch {
+		case v > 0:
+			dst.data[i] = 1
+		case v < 0:
+			dst.data[i] = -1
+		default:
+			dst.data[i] = 0
+		}
+	}
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for
+// stability).
+func (t *Tensor) Sum() float32 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return float32(s)
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for an empty
+// tensor.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ArgMaxRow returns, for a 2-D tensor, the column index of the maximum
+// element in row r.
+func (t *Tensor) ArgMaxRow(r int) int {
+	if len(t.shape) != 2 {
+		panic("tensor: ArgMaxRow requires a 2-D tensor")
+	}
+	cols := t.shape[1]
+	row := t.data[r*cols : (r+1)*cols]
+	best := 0
+	for i := 1; i < cols; i++ {
+		if row[i] > row[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Dot returns the inner product of two equally shaped tensors.
+func Dot(a, b *Tensor) float32 {
+	checkSame2(a, b)
+	var s float64
+	for i := range a.data {
+		s += float64(a.data[i]) * float64(b.data[i])
+	}
+	return float32(s)
+}
+
+// Norm2 returns the Euclidean norm of the tensor.
+func (t *Tensor) Norm2() float32 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(s))
+}
+
+func checkSame2(a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic("tensor: shape mismatch")
+	}
+}
+
+func checkSame3(a, b, c *Tensor) {
+	if !a.SameShape(b) || !a.SameShape(c) {
+		panic("tensor: shape mismatch")
+	}
+}

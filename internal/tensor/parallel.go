@@ -1,0 +1,53 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the parallelism of the numeric kernels. It is a
+// variable (not a constant) so tests can force single-threaded execution.
+var maxWorkers = runtime.NumCPU()
+
+// SetMaxWorkers overrides the kernel parallelism. Values below one are
+// clamped to one. It returns the previous setting so callers can restore
+// it.
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	if n < 1 {
+		n = 1
+	}
+	maxWorkers = n
+	return prev
+}
+
+// parallelFor runs fn(lo, hi) over disjoint chunks of [0, n) on up to
+// maxWorkers goroutines and waits for completion. Small ranges run
+// inline to avoid goroutine overhead.
+func parallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

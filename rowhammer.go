@@ -1,0 +1,309 @@
+package rowhammer
+
+import (
+	"fmt"
+
+	"rowhammer/internal/core"
+	"rowhammer/internal/data"
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/metrics"
+	"rowhammer/internal/models"
+	"rowhammer/internal/pretrain"
+	"rowhammer/internal/quant"
+)
+
+// Trigger is the backdoor input pattern Δx (a square patch whose pixels
+// the attack optimizes).
+type Trigger = data.Trigger
+
+// Victim bundles a trained clean model with its data splits — the
+// deployment the attacker targets.
+type Victim struct {
+	result *pretrain.Result
+	cfg    models.Config
+}
+
+// VictimConfig selects the victim model and training scale.
+type VictimConfig struct {
+	// Arch is one of the supported architectures: resnet20, resnet32,
+	// resnet18, resnet34, resnet50, vgg11, vgg16, bin-resnet32.
+	Arch string
+	// Classes is the task size; 0 picks the architecture's default
+	// (10, or 100 for the ImageNet-scale ResNets).
+	Classes int
+	// WidthMult scales channel counts; 0 means 0.25 (laptop friendly).
+	WidthMult float64
+	// TrainSamples/TestSamples/Epochs size the synthetic pretraining;
+	// zero values pick quick defaults.
+	TrainSamples int
+	TestSamples  int
+	Epochs       int
+	// Seed fixes all randomness.
+	Seed int64
+}
+
+// TrainVictim trains (and caches per identical config) a clean victim
+// model on the built-in synthetic task.
+func TrainVictim(cfg VictimConfig) (*Victim, error) {
+	if cfg.Arch == "" {
+		cfg.Arch = "resnet20"
+	}
+	if cfg.WidthMult == 0 {
+		cfg.WidthMult = 0.25
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	classes := cfg.Classes
+	dcfg := data.SynthCIFAR(0, cfg.Seed)
+	if classes == 0 {
+		classes = 10
+		if cfg.Arch == "resnet34" || cfg.Arch == "resnet50" {
+			classes = 100
+			dcfg = data.SynthImageNet(0, cfg.Seed)
+		}
+	}
+	mcfg := models.Config{Arch: cfg.Arch, Classes: classes, WidthMult: cfg.WidthMult, Seed: cfg.Seed}
+	res, err := pretrain.TrainCached(pretrain.Config{
+		Model:        mcfg,
+		Data:         dcfg,
+		TrainSamples: cfg.TrainSamples,
+		TestSamples:  cfg.TestSamples,
+		Epochs:       cfg.Epochs,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Victim{result: res, cfg: mcfg}, nil
+}
+
+// CleanAccuracy returns the victim's clean test accuracy.
+func (v *Victim) CleanAccuracy() float64 { return v.result.Accuracy }
+
+// NumParams returns the victim's parameter count (one byte each when
+// deployed 8-bit quantized).
+func (v *Victim) NumParams() int { return v.result.Model.NumParams() }
+
+// WeightFilePages returns how many 4 KB pages the deployed weight file
+// occupies — the hard ceiling on the attack's flip budget.
+func (v *Victim) WeightFilePages() int {
+	return (v.NumParams() + quant.PageSize - 1) / quant.PageSize
+}
+
+// AttackConfig drives the offline phase (Algorithm 1).
+type AttackConfig struct {
+	// TargetClass is the backdoor's target label.
+	TargetClass int
+	// NFlip is the bit-flip budget; 0 picks pages/7 (≥3).
+	NFlip int
+	// Iterations is the optimization length; 0 picks 100.
+	Iterations int
+	// Alpha blends clean (1−α) and triggered (α) losses; 0 picks 0.5.
+	Alpha float32
+	// Epsilon is the FGSM trigger step; 0 picks 0.02.
+	Epsilon float32
+	// TriggerSize is the square trigger edge; 0 picks 10.
+	TriggerSize int
+}
+
+// Offline is the offline-phase product: the backdoored weight file and
+// the learned trigger.
+type Offline struct {
+	inner   *core.Result
+	model   *modelHandle
+	target  int
+	NFlip   int
+	Trigger *Trigger
+}
+
+type modelHandle struct {
+	victim *Victim
+}
+
+// InjectBackdoor runs Algorithm 1 (CFT+BR) against a fresh clone of the
+// victim and returns the flip set and trigger.
+func InjectBackdoor(v *Victim, cfg AttackConfig) (*Offline, error) {
+	model, err := pretrain.CloneModel(v.cfg, v.result.Model)
+	if err != nil {
+		return nil, err
+	}
+	nflip := cfg.NFlip
+	if nflip == 0 {
+		nflip = v.WeightFilePages() / 7
+		if nflip < 3 {
+			nflip = 3
+		}
+		if nflip > v.WeightFilePages() {
+			nflip = v.WeightFilePages()
+		}
+	}
+	acfg := core.DefaultConfig(nflip, cfg.TargetClass)
+	acfg.Iterations = orInt(cfg.Iterations, 100)
+	acfg.BitReduceEvery = acfg.Iterations / 2
+	if acfg.BitReduceEvery < 1 {
+		acfg.BitReduceEvery = 1
+	}
+	acfg.Eta = 2
+	acfg.Epsilon = orF32(cfg.Epsilon, 0.02)
+	if cfg.Alpha != 0 {
+		acfg.Alpha = cfg.Alpha
+	}
+	if cfg.TriggerSize != 0 {
+		acfg.TriggerSize = cfg.TriggerSize
+	}
+	attackSet := v.result.Test.Head(32)
+	out, err := core.RunOffline(model, attackSet, acfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Offline{
+		inner:   out,
+		model:   &modelHandle{victim: v},
+		target:  cfg.TargetClass,
+		NFlip:   out.NFlip,
+		Trigger: out.Trigger,
+	}, nil
+}
+
+// OfflineMetrics evaluates the backdoored model (as the attacker sees
+// it offline): test accuracy and attack success rate.
+func (o *Offline) OfflineMetrics() (ta, asr float64) {
+	m := o.inner.Quantizer.Model()
+	test := o.model.victim.result.Test
+	return metrics.TestAccuracy(m, test), metrics.AttackSuccessRate(m, test, o.inner.Trigger, o.target)
+}
+
+// HardwareConfig selects the simulated DRAM system the online phase
+// runs on.
+type HardwareConfig struct {
+	// Device is a Table I chip name ("A1" … "N1") or empty for the
+	// paper's DDR3 module.
+	Device string
+	// ModuleMB is the DRAM size; 0 picks 192 MB (room for the paper's
+	// 128 MB templating buffer).
+	ModuleMB int
+	// Sides is the hammer pattern width; 0 picks 2 (double-sided, the
+	// DDR3 configuration) — use 7 for DDR4 devices.
+	Sides int
+	// Seed fixes the vulnerable-cell layout and measurement noise.
+	Seed int64
+}
+
+// Online is the outcome of the hammering phase.
+type Online struct {
+	inner *core.OnlineResult
+	// RMatch is the DRAM match rate (percent).
+	RMatch float64
+	// NFlipOnline counts the bits that actually flipped.
+	NFlipOnline int
+	// Matched / Required report how much of the plan landed.
+	Matched  int
+	Required int
+	// Accidental counts extra flips in disturbed pages.
+	Accidental int
+}
+
+// HammerOnline executes the online phase: profile, plan, massage, let
+// the victim map its weight file, hammer, and read back the corrupted
+// file.
+func HammerOnline(v *Victim, off *Offline, hw HardwareConfig) (*Online, error) {
+	profileDev := dram.PaperDDR3()
+	if hw.Device != "" {
+		p, ok := dram.ProfileByName(hw.Device)
+		if !ok {
+			return nil, fmt.Errorf("rowhammer: unknown device %q", hw.Device)
+		}
+		profileDev = p
+	}
+	moduleMB := orInt(hw.ModuleMB, 192)
+	mod, err := dram.NewModuleForSize(moduleMB<<20, profileDev, orI64(hw.Seed, 7))
+	if err != nil {
+		return nil, err
+	}
+	sys := memsys.NewSystem(mod)
+
+	clean, err := pretrain.CloneModel(v.cfg, v.result.Model)
+	if err != nil {
+		return nil, err
+	}
+	qc := quant.NewQuantizer(clean)
+	cleanFile := qc.WeightFileBytes()
+
+	reqs := core.RequirementsFromCodes(off.inner.OrigCodes, off.inner.BackdooredCodes)
+	ocfg := core.DefaultOnlineConfig(len(cleanFile) / memsys.PageSize)
+	if hw.Sides != 0 {
+		ocfg.Sides = hw.Sides
+	}
+	ocfg.MeasureSeed = orI64(hw.Seed, 7)
+	res, err := core.ExecuteOnline(sys, cleanFile, reqs, ocfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Online{
+		inner:       res,
+		RMatch:      res.RMatch,
+		NFlipOnline: res.NFlipOnline,
+		Matched:     res.NMatch,
+		Required:    res.NRequired,
+		Accidental:  res.AccidentalFlips,
+	}, nil
+}
+
+// Report is the end-to-end evaluation of the attack.
+type Report struct {
+	CleanAccuracy float64
+	OfflineTA     float64
+	OfflineASR    float64
+	OnlineTA      float64
+	OnlineASR     float64
+	NFlipOffline  int
+	NFlipOnline   int
+	RMatch        float64
+}
+
+// Evaluate loads the corrupted weight file into a fresh victim instance
+// and measures the deployed backdoor.
+func Evaluate(v *Victim, off *Offline, on *Online) (*Report, error) {
+	offTA, offASR := off.OfflineMetrics()
+	rep := &Report{
+		CleanAccuracy: v.CleanAccuracy(),
+		OfflineTA:     offTA,
+		OfflineASR:    offASR,
+		NFlipOffline:  off.NFlip,
+		NFlipOnline:   on.NFlipOnline,
+		RMatch:        on.RMatch,
+	}
+	victimModel, err := pretrain.CloneModel(v.cfg, v.result.Model)
+	if err != nil {
+		return nil, err
+	}
+	qv := quant.NewQuantizer(victimModel)
+	qv.LoadWeightFileBytes(on.inner.CorruptedFile)
+	test := v.result.Test
+	rep.OnlineTA = metrics.TestAccuracy(victimModel, test)
+	rep.OnlineASR = metrics.AttackSuccessRate(victimModel, test, off.Trigger, off.target)
+	return rep, nil
+}
+
+func orInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func orF32(v, def float32) float32 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func orI64(v, def int64) int64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}

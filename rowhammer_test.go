@@ -1,0 +1,79 @@
+package rowhammer
+
+import "testing"
+
+// TestPublicAPIEndToEnd drives the façade through the whole pipeline at
+// a tiny scale. Behavioral strength (high ASR, preserved TA at
+// realistic settings) is asserted by the internal core and experiments
+// suites; here the contract of the public API is what is under test.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	victim, err := TrainVictim(VictimConfig{Arch: "resnet20", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim.CleanAccuracy() < 0.7 {
+		t.Fatalf("clean accuracy %.3f too low", victim.CleanAccuracy())
+	}
+	if victim.WeightFilePages() < 3 {
+		t.Fatalf("weight file pages %d", victim.WeightFilePages())
+	}
+
+	off, err := InjectBackdoor(victim, AttackConfig{TargetClass: 2, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.NFlip == 0 {
+		t.Fatal("no flips produced")
+	}
+	if off.Trigger == nil {
+		t.Fatal("no trigger produced")
+	}
+	ta, asr := off.OfflineMetrics()
+	if ta <= 0 || ta > 1 || asr < 0 || asr > 1 {
+		t.Fatalf("metrics out of range: TA %v ASR %v", ta, asr)
+	}
+
+	on, err := HammerOnline(victim, off, HardwareConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Required != off.NFlip {
+		t.Fatalf("online required %d != offline NFlip %d", on.Required, off.NFlip)
+	}
+	if on.Matched == 0 {
+		t.Fatal("no required flip landed")
+	}
+
+	rep, err := Evaluate(victim, off, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NFlipOffline != off.NFlip || rep.RMatch != on.RMatch {
+		t.Fatal("report fields inconsistent")
+	}
+	if rep.OnlineTA <= 0 {
+		t.Fatal("online TA missing")
+	}
+	t.Logf("end-to-end: clean %.3f, offline TA %.3f ASR %.3f, online TA %.3f ASR %.3f, r_match %.2f%%",
+		rep.CleanAccuracy, rep.OfflineTA, rep.OfflineASR, rep.OnlineTA, rep.OnlineASR, rep.RMatch)
+}
+
+func TestTrainVictimUnknownArch(t *testing.T) {
+	if _, err := TrainVictim(VictimConfig{Arch: "lenet"}); err == nil {
+		t.Fatal("unknown architecture must fail")
+	}
+}
+
+func TestHammerOnlineUnknownDevice(t *testing.T) {
+	victim, err := TrainVictim(VictimConfig{Arch: "resnet20", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := InjectBackdoor(victim, AttackConfig{TargetClass: 1, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HammerOnline(victim, off, HardwareConfig{Device: "Z9"}); err == nil {
+		t.Fatal("unknown device must fail")
+	}
+}
