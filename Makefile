@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test-short test-race bench-kernels vet
+
+build:
+	$(GO) build ./...
+
+## test-short: fast suite — pure-logic tests plus one cached training run.
+## The full-fat suite (victim training in core/baselines/defense and the
+## public-API end-to-end test) is plain `go test ./...`; see EXPERIMENTS.md.
+test-short:
+	$(GO) test -short ./...
+
+## test-race: race detector over the packages with the concurrent kernels
+## (worker pool, buffer pool, batch-parallel conv/batchnorm).
+test-race:
+	$(GO) test -race -short ./internal/tensor ./internal/nn
+
+## bench-kernels: blocked-GEMM and conv hot-path benchmarks with
+## allocation counts. Naive twins run alongside for the speedup ratio.
+bench-kernels:
+	$(GO) test -run xxx -bench 'MatMul|Conv' -benchmem ./internal/tensor/... ./internal/nn/...
+
+vet:
+	$(GO) vet ./...

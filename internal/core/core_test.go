@@ -31,9 +31,14 @@ func victimCfg() pretrain.Config {
 	}
 }
 
-// trainedVictim returns a freshly cloned trained model per call.
+// trainedVictim returns a freshly cloned trained model per call. Tests
+// that need it train a full (small) victim, so they are skipped under
+// -short; see EXPERIMENTS.md for the full-fat invocation.
 func trainedVictim(t *testing.T) (*pretrain.Result, *models.Config) {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy: trains a victim model; run without -short")
+	}
 	victimOnce.Do(func() {
 		victimRes, victimErr = pretrain.Train(victimCfg())
 	})

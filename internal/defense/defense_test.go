@@ -34,6 +34,9 @@ func victimCfg() pretrain.Config {
 
 func victim(t *testing.T) *pretrain.Result {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy: trains a victim model; run without -short")
+	}
 	once.Do(func() { res, rerr = pretrain.Train(victimCfg()) })
 	if rerr != nil {
 		t.Fatal(rerr)

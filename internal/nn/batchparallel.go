@@ -2,7 +2,8 @@ package nn
 
 import (
 	"runtime"
-	"sync"
+
+	"rowhammer/internal/tensor"
 )
 
 // batchWorkers bounds batch-level parallelism in conv/batchnorm kernels.
@@ -19,33 +20,11 @@ func SetBatchWorkers(n int) int {
 	return prev
 }
 
-// batchParallel partitions [0, n) across workers and runs fn per chunk.
-// Each worker invocation is expected to allocate its own scratch buffers
-// so no synchronization is needed during the chunk.
+// batchParallel partitions [0, n) across workers and runs fn per chunk
+// on the tensor package's persistent worker pool (no goroutine spawn
+// per call; pure inline execution when batchWorkers is 1). Each worker
+// invocation is expected to allocate its own scratch buffers so no
+// synchronization is needed during the chunk.
 func batchParallel(n int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers := batchWorkers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	tensor.ParallelChunks(n, batchWorkers, fn)
 }

@@ -59,11 +59,11 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	colLen := tensor.ColBufLen(c.inC, h, w, c.kh, c.kw, c.stride, c.pad)
 
 	batchParallel(n, func(lo, hi int) {
-		col := make([]float32, colLen)
+		col := tensor.GetF32(colLen)
+		colT := tensor.FromSlice(col, c.inC*c.kh*c.kw, oh*ow)
 		for i := lo; i < hi; i++ {
 			img := x.Data()[i*imgLen : (i+1)*imgLen]
 			tensor.Im2Col(img, c.inC, h, w, c.kh, c.kw, c.stride, c.pad, col)
-			colT := tensor.FromSlice(col, c.inC*c.kh*c.kw, oh*ow)
 			dst := tensor.FromSlice(out.Data()[i*outLen:(i+1)*outLen], c.outC, oh*ow)
 			tensor.MatMulInto(dst, wMat, colT)
 			if c.Bias != nil {
@@ -78,6 +78,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				}
 			}
 		}
+		tensor.PutF32(col)
 	})
 	return out
 }
@@ -99,18 +100,21 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 	var mu sync.Mutex
 	batchParallel(n, func(lo, hi int) {
-		col := make([]float32, colLen)
-		gradCol := tensor.New(ckk, oh*ow)
-		localGW := tensor.New(c.outC, ckk)
-		tmpGW := tensor.New(c.outC, ckk)
+		// All per-worker scratch is pooled: the column matrix and its
+		// gradient are fully overwritten each item, the local
+		// weight-gradient accumulator needs a zeroed start.
+		col := tensor.GetF32(colLen)
+		colT := tensor.FromSlice(col, ckk, oh*ow)
+		gradCol := tensor.GetTensor(ckk, oh*ow)
+		localGW := tensor.GetTensorZeroed(c.outC, ckk)
+		tmpGW := tensor.GetTensor(c.outC, ckk)
 		var localGB []float32
 		if c.Bias != nil {
-			localGB = make([]float32, c.outC)
+			localGB = tensor.GetF32Zeroed(c.outC)
 		}
 		for i := lo; i < hi; i++ {
 			img := x.Data()[i*imgLen : (i+1)*imgLen]
 			tensor.Im2Col(img, c.inC, h, w, c.kh, c.kw, c.stride, c.pad, col)
-			colT := tensor.FromSlice(col, ckk, oh*ow)
 			g := tensor.FromSlice(grad.Data()[i*outLen:(i+1)*outLen], c.outC, oh*ow)
 
 			// dW += g · colᵀ
@@ -143,6 +147,11 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 		mu.Unlock()
+		tensor.PutF32(col)
+		tensor.PutTensor(gradCol)
+		tensor.PutTensor(localGW)
+		tensor.PutTensor(tmpGW)
+		tensor.PutF32(localGB)
 	})
 	return gradIn
 }

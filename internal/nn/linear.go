@@ -49,10 +49,12 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := l.lastInput
 	n := grad.Dim(0)
 
-	// dW += gradᵀ · x  (Out×In)
-	tmp := tensor.New(l.out, l.in)
+	// dW += gradᵀ · x  (Out×In); the scratch is pooled and fully
+	// overwritten by the matmul.
+	tmp := tensor.GetTensor(l.out, l.in)
 	tensor.MatMulATBInto(tmp, grad, x)
 	l.Weight.G.AddScaled(tmp, 1)
+	tensor.PutTensor(tmp)
 
 	// db += column sums of grad.
 	gb := l.Bias.G.Data()

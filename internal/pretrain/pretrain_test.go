@@ -21,6 +21,11 @@ func smallCfg() Config {
 }
 
 func TestTrainReachesHighAccuracy(t *testing.T) {
+	if testing.Short() {
+		// The TrainCached-based tests below still exercise one full
+		// training run in short mode; this one would add a second.
+		t.Skip("heavy: duplicate uncached training run; run without -short")
+	}
 	r, err := Train(smallCfg())
 	if err != nil {
 		t.Fatal(err)

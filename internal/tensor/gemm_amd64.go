@@ -1,0 +1,57 @@
+package tensor
+
+// Runtime selection of the AVX2/FMA micro-kernel. The pure-Go 2×4
+// kernel remains the fallback on CPUs without AVX2 (or when the OS has
+// not enabled YMM state).
+
+// cpuid and xgetbv0 are implemented in gemm_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+//go:noescape
+func gemmKernel6x16Asm(kc int, ap, bp, c *float32, ldc int)
+
+// gemmHasAVX2 records whether the assembly kernel was selected, for
+// tests and diagnostics.
+var gemmHasAVX2 bool
+
+func init() {
+	if !cpuSupportsAVX2FMA() {
+		return
+	}
+	gemmHasAVX2 = true
+	gemmMR, gemmNR = 6, 16
+	gemmMC = 96 // 16 six-row panels per L2 block
+	gemmKernel = gemmKernelAVX2
+}
+
+func cpuSupportsAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+		want         = cpuidFMA | cpuidOSXSAVE | cpuidAVX
+	)
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&want != want {
+		return false
+	}
+	// The OS must save/restore XMM and YMM state across context
+	// switches before AVX may be used.
+	xlo, _ := xgetbv0()
+	if xlo&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+// gemmKernelAVX2 adapts packed-panel slices to the assembly kernel's
+// pointer ABI.
+func gemmKernelAVX2(kc int, ap, bp, c []float32, ldc int) {
+	gemmKernel6x16Asm(kc, &ap[0], &bp[0], &c[0], ldc)
+}

@@ -1,0 +1,137 @@
+// AVX2/FMA micro-kernel and CPU feature probes for the blocked GEMM
+// engine (gemm.go). Selected at runtime by gemm_amd64.go when CPUID
+// reports AVX2+FMA with OS-enabled YMM state.
+
+#include "textflag.h"
+
+// func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func gemmKernel6x16Asm(kc int, ap, bp, c *float32, ldc int)
+//
+// Accumulates a 6×16 tile over packed panels:
+//
+//	c[r*ldc + j] += Σ_p ap[p*6 + r] · bp[p*16 + j]   r < 6, j < 16
+//
+// Twelve YMM accumulators (Y0–Y11: two 8-float halves per row) stay
+// live across the whole k loop; each step issues two B loads, six A
+// broadcasts and twelve FMAs. The caller guarantees the full tile is
+// addressable (edge tiles go through a scratch buffer in Go).
+TEXT ·gemmKernel6x16Asm(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8             // row stride in bytes
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+
+	TESTQ CX, CX
+	JZ    writeback
+
+kloop:
+	VMOVUPS (DI), Y12       // B columns 0–7
+	VMOVUPS 32(DI), Y13     // B columns 8–15
+
+	VBROADCASTSS (SI), Y14
+	VFMADD231PS  Y12, Y14, Y0
+	VFMADD231PS  Y13, Y14, Y1
+	VBROADCASTSS 4(SI), Y15
+	VFMADD231PS  Y12, Y15, Y2
+	VFMADD231PS  Y13, Y15, Y3
+	VBROADCASTSS 8(SI), Y14
+	VFMADD231PS  Y12, Y14, Y4
+	VFMADD231PS  Y13, Y14, Y5
+	VBROADCASTSS 12(SI), Y15
+	VFMADD231PS  Y12, Y15, Y6
+	VFMADD231PS  Y13, Y15, Y7
+	VBROADCASTSS 16(SI), Y14
+	VFMADD231PS  Y12, Y14, Y8
+	VFMADD231PS  Y13, Y14, Y9
+	VBROADCASTSS 20(SI), Y15
+	VFMADD231PS  Y12, Y15, Y10
+	VFMADD231PS  Y13, Y15, Y11
+
+	ADDQ $24, SI            // 6 floats of A
+	ADDQ $64, DI            // 16 floats of B
+	DECQ CX
+	JNZ  kloop
+
+writeback:
+	VMOVUPS (DX), Y12
+	VADDPS  Y0, Y12, Y12
+	VMOVUPS Y12, (DX)
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y1, Y13, Y13
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVUPS (DX), Y12
+	VADDPS  Y2, Y12, Y12
+	VMOVUPS Y12, (DX)
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y3, Y13, Y13
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVUPS (DX), Y12
+	VADDPS  Y4, Y12, Y12
+	VMOVUPS Y12, (DX)
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y5, Y13, Y13
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVUPS (DX), Y12
+	VADDPS  Y6, Y12, Y12
+	VMOVUPS Y12, (DX)
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y7, Y13, Y13
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVUPS (DX), Y12
+	VADDPS  Y8, Y12, Y12
+	VMOVUPS Y12, (DX)
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y9, Y13, Y13
+	VMOVUPS Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVUPS (DX), Y12
+	VADDPS  Y10, Y12, Y12
+	VMOVUPS Y12, (DX)
+	VMOVUPS 32(DX), Y13
+	VADDPS  Y11, Y13, Y13
+	VMOVUPS Y13, 32(DX)
+
+	VZEROUPPER
+	RET

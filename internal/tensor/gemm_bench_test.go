@@ -1,0 +1,124 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Kernel benchmarks at the shapes the ResNet-20 / VGG-11 models
+// actually hit, plus the 128×576×1024 headline shape from the kernel
+// engine's acceptance target. Run with:
+//
+//	go test -bench 'MatMul|Gemm' -benchmem ./internal/tensor/...
+//
+// Each blocked benchmark has a matching *Naive twin over the retained
+// reference kernel, so the speedup is measurable in one run.
+// Benchmarks force maxWorkers=1: single-thread throughput is the
+// number that matters on the 1-CPU evaluation box.
+
+type gemmBenchShape struct {
+	name    string
+	m, k, n int
+}
+
+// conv layers lower to (outC × inC·KH·KW) · (inC·KH·KW × OH·OW).
+var gemmBenchShapes = []gemmBenchShape{
+	{"headline_128x576x1024", 128, 576, 1024},   // acceptance-target shape
+	{"resnet20_w1_L1_16x144x1024", 16, 144, 1024}, // 16ch 3×3 on 32×32
+	{"resnet20_w1_L3_64x576x64", 64, 576, 64},   // 64ch 3×3 on 8×8
+	{"vgg11_w025_128x1152x64", 128, 1152, 64},   // 512·w ch 3×3 on 8×8
+	{"linear_fwd_32x128x10", 32, 128, 10},       // fc head, batch 32
+}
+
+func benchTensors(m, k, n int) (a, b, c *Tensor) {
+	rng := NewRNG(5)
+	a, b, c = New(m, k), New(k, n), New(m, n)
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(b, 0, 1)
+	return
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, s := range gemmBenchShapes {
+		b.Run(s.name, func(b *testing.B) {
+			x, y, c := benchTensors(s.m, s.k, s.n)
+			prev := SetMaxWorkers(1)
+			defer SetMaxWorkers(prev)
+			b.SetBytes(int64(2 * s.m * s.k * s.n)) // FLOPs per op ≈ throughput proxy
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(c, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulNaive(b *testing.B) {
+	for _, s := range gemmBenchShapes {
+		b.Run(s.name, func(b *testing.B) {
+			x, y, c := benchTensors(s.m, s.k, s.n)
+			prev := SetMaxWorkers(1)
+			defer SetMaxWorkers(prev)
+			b.SetBytes(int64(2 * s.m * s.k * s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matMulNaiveInto(c, x, y)
+			}
+		})
+	}
+}
+
+// The gradient kernels: dW = Aᵀ·B and dX = A·Bᵀ at a conv-backward
+// representative shape.
+func BenchmarkMatMulATB(b *testing.B) {
+	benchGradKernel(b, func(c, a, x *Tensor) { MatMulATBInto(c, a, x) }, true)
+}
+
+func BenchmarkMatMulATBNaive(b *testing.B) {
+	benchGradKernel(b, func(c, a, x *Tensor) { matMulNaiveATBInto(c, a, x) }, true)
+}
+
+func BenchmarkMatMulABT(b *testing.B) {
+	benchGradKernel(b, func(c, a, x *Tensor) { MatMulABTInto(c, a, x) }, false)
+}
+
+func BenchmarkMatMulABTNaive(b *testing.B) {
+	benchGradKernel(b, func(c, a, x *Tensor) { matMulNaiveABTInto(c, a, x) }, false)
+}
+
+func benchGradKernel(b *testing.B, fn func(c, a, x *Tensor), atb bool) {
+	const m, k, n = 64, 576, 256
+	rng := NewRNG(5)
+	var a, x *Tensor
+	if atb {
+		a, x = New(k, m), New(k, n) // dst = Aᵀ·B
+	} else {
+		a, x = New(m, k), New(n, k) // dst = A·Bᵀ
+	}
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(x, 0, 1)
+	c := New(m, n)
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	b.SetBytes(int64(2 * m * k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(c, a, x)
+	}
+}
+
+// BenchmarkGemmParallel measures the worker-pool path (no-op speedup on
+// a 1-CPU box, but it must not be slower than maxWorkers=1).
+func BenchmarkGemmParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			x, y, c := benchTensors(256, 576, 512)
+			prev := SetMaxWorkers(workers)
+			defer SetMaxWorkers(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(c, x, y)
+			}
+		})
+	}
+}

@@ -3,7 +3,7 @@ package tensor
 import "fmt"
 
 // MatMul computes C = A·B for A (m×k) and B (k×n), returning a new m×n
-// tensor. Rows of C are computed in parallel.
+// tensor.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k := mat2(a)
 	k2, n := mat2(b)
@@ -16,6 +16,9 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes dst = A·B, where dst is a preallocated m×n tensor.
+// Large products run on the blocked GEMM engine (gemm.go); small ones
+// fall back to the naive kernel, whose lack of packing overhead wins at
+// tiny sizes.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k := mat2(a)
 	k2, n := mat2(b)
@@ -23,6 +26,55 @@ func MatMulInto(dst, a, b *Tensor) {
 	if k != k2 || dm != m || dn != n {
 		panic("tensor: matmul shape mismatch")
 	}
+	if m*n*k < gemmMinFlops {
+		matMulNaiveInto(dst, a, b)
+		return
+	}
+	gemm(m, n, k, a.data, k, 1, b.data, n, 1, dst.data)
+}
+
+// MatMulATBInto computes dst = Aᵀ·B for A (k×m) and B (k×n); dst is m×n.
+// Used for weight-gradient accumulation.
+func MatMulATBInto(dst, a, b *Tensor) {
+	k, m := mat2(a)
+	k2, n := mat2(b)
+	dm, dn := mat2(dst)
+	if k != k2 || dm != m || dn != n {
+		panic("tensor: matmulATB shape mismatch")
+	}
+	if m*n*k < gemmMinFlops {
+		matMulNaiveATBInto(dst, a, b)
+		return
+	}
+	gemm(m, n, k, a.data, 1, m, b.data, n, 1, dst.data)
+}
+
+// MatMulABTInto computes dst = A·Bᵀ for A (m×k) and B (n×k); dst is m×n.
+// Used for input-gradient propagation.
+func MatMulABTInto(dst, a, b *Tensor) {
+	m, k := mat2(a)
+	n, k2 := mat2(b)
+	dm, dn := mat2(dst)
+	if k != k2 || dm != m || dn != n {
+		panic("tensor: matmulABT shape mismatch")
+	}
+	if m*n*k < gemmMinFlops {
+		matMulNaiveABTInto(dst, a, b)
+		return
+	}
+	gemm(m, n, k, a.data, k, 1, b.data, 1, k, dst.data)
+}
+
+// The naive kernels below are the pre-blocking reference
+// implementations. They remain the dispatch target for small shapes,
+// the golden reference for the GEMM correctness tests (gemm_test.go),
+// and the baseline for the before/after benchmarks
+// (gemm_bench_test.go).
+
+// matMulNaiveInto is the row-at-a-time axpy kernel: dst = A·B.
+func matMulNaiveInto(dst, a, b *Tensor) {
+	m, k := mat2(a)
+	_, n := mat2(b)
 	ad, bd, cd := a.data, b.data, dst.data
 	parallelFor(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -45,15 +97,10 @@ func MatMulInto(dst, a, b *Tensor) {
 	})
 }
 
-// MatMulATBInto computes dst = Aᵀ·B for A (k×m) and B (k×n); dst is m×n.
-// Used for weight-gradient accumulation.
-func MatMulATBInto(dst, a, b *Tensor) {
+// matMulNaiveATBInto is the reference dst = Aᵀ·B kernel.
+func matMulNaiveATBInto(dst, a, b *Tensor) {
 	k, m := mat2(a)
-	k2, n := mat2(b)
-	dm, dn := mat2(dst)
-	if k != k2 || dm != m || dn != n {
-		panic("tensor: matmulATB shape mismatch")
-	}
+	_, n := mat2(b)
 	ad, bd, cd := a.data, b.data, dst.data
 	parallelFor(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -75,15 +122,10 @@ func MatMulATBInto(dst, a, b *Tensor) {
 	})
 }
 
-// MatMulABTInto computes dst = A·Bᵀ for A (m×k) and B (n×k); dst is m×n.
-// Used for input-gradient propagation.
-func MatMulABTInto(dst, a, b *Tensor) {
+// matMulNaiveABTInto is the reference dst = A·Bᵀ kernel.
+func matMulNaiveABTInto(dst, a, b *Tensor) {
 	m, k := mat2(a)
-	n, k2 := mat2(b)
-	dm, dn := mat2(dst)
-	if k != k2 || dm != m || dn != n {
-		panic("tensor: matmulABT shape mismatch")
-	}
+	n, _ := mat2(b)
 	ad, bd, cd := a.data, b.data, dst.data
 	parallelFor(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -21,33 +21,81 @@ func SetMaxWorkers(n int) int {
 	return prev
 }
 
-// parallelFor runs fn(lo, hi) over disjoint chunks of [0, n) on up to
-// maxWorkers goroutines and waits for completion. Small ranges run
-// inline to avoid goroutine overhead.
-func parallelFor(n int, fn func(lo, hi int)) {
+// The numeric kernels share one process-wide pool of persistent worker
+// goroutines instead of spawning goroutines per call. The pool starts
+// lazily on the first parallel invocation; on a single-CPU machine (or
+// under SetMaxWorkers(1)) it is never started and every kernel runs
+// inline on the caller's goroutine with zero scheduling overhead.
+var (
+	workersOnce sync.Once
+	workCh      chan func()
+)
+
+func ensureWorkers() {
+	workersOnce.Do(func() {
+		n := runtime.NumCPU()
+		if n > 64 {
+			n = 64
+		}
+		workCh = make(chan func(), 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for task := range workCh {
+					task()
+				}
+			}()
+		}
+	})
+}
+
+// ParallelChunks partitions [0, n) into up to `workers` contiguous
+// chunks and runs fn(lo, hi) once per chunk on the persistent worker
+// pool. The calling goroutine executes the first chunk itself and then
+// waits for the rest. When the pool is saturated — including the nested
+// case of a parallel kernel invoked from inside another parallel region
+// — excess chunks run inline on the caller, so ParallelChunks can never
+// deadlock and degrades gracefully to serial execution.
+func ParallelChunks(n, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := maxWorkers
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || n < 64 {
+	if workers <= 1 {
 		fn(0, n)
 		return
 	}
+	ensureWorkers()
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
+	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
+		task := func() { defer wg.Done(); fn(lo, hi) }
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		select {
+		case workCh <- task:
+		default:
+			task()
+		}
 	}
+	fn(0, chunk)
 	wg.Wait()
+}
+
+// parallelFor runs fn(lo, hi) over disjoint chunks of [0, n) on up to
+// maxWorkers pool workers and waits for completion. Small ranges run
+// inline to avoid synchronization overhead.
+func parallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if maxWorkers <= 1 || n < 64 {
+		fn(0, n)
+		return
+	}
+	ParallelChunks(n, maxWorkers, fn)
 }

@@ -7,6 +7,9 @@ import "testing"
 // realistic settings) is asserted by the internal core and experiments
 // suites; here the contract of the public API is what is under test.
 func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: trains a victim model; run without -short")
+	}
 	victim, err := TrainVictim(VictimConfig{Arch: "resnet20", Seed: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -65,6 +68,9 @@ func TestTrainVictimUnknownArch(t *testing.T) {
 }
 
 func TestHammerOnlineUnknownDevice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: trains a victim model; run without -short")
+	}
 	victim, err := TrainVictim(VictimConfig{Arch: "resnet20", Seed: 5})
 	if err != nil {
 		t.Fatal(err)
