@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test-short test-race bench-kernels vet
+.PHONY: build test-short test-race bench-kernels bench-eval vet
 
 build:
 	$(GO) build ./...
@@ -12,14 +12,25 @@ test-short:
 	$(GO) test -short ./...
 
 ## test-race: race detector over the packages with the concurrent kernels
-## (worker pool, buffer pool, batch-parallel conv/batchnorm).
+## (worker pool, buffer pool, batch-parallel conv/batchnorm, int8 engine,
+## parallel metric evaluation).
 test-race:
-	$(GO) test -race -short ./internal/tensor ./internal/nn
+	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics
 
 ## bench-kernels: blocked-GEMM and conv hot-path benchmarks with
 ## allocation counts. Naive twins run alongside for the speedup ratio.
 bench-kernels:
-	$(GO) test -run xxx -bench 'MatMul|Conv' -benchmem ./internal/tensor/... ./internal/nn/...
+	$(GO) test -run xxx -bench 'MatMul|Conv|GemmI8' -benchmem ./internal/tensor/... ./internal/nn/...
 
+## bench-eval: the attack/defense evaluation-loop benchmarks (int8 engine
+## vs fp32 graph, single-thread and parallel), serialized to
+## BENCH_eval.json with ns/op and allocs/op per entry.
+bench-eval:
+	$(GO) test -run xxx -bench 'EvalTAASR|QuantForward|FloatForward' -benchmem \
+		./internal/metrics/ ./internal/quant/ | $(GO) run ./cmd/benchjson -o BENCH_eval.json
+
+## vet: static checks plus a cross-compile of the portable (non-AVX2)
+## code paths — the asm files are amd64-gated, so arm64 must build pure Go.
 vet:
 	$(GO) vet ./...
+	GOARCH=arm64 $(GO) build ./...

@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report. It exists so `make bench-eval` can emit
+// BENCH_eval.json for the evaluation-loop benchmarks without any
+// external tooling.
+//
+// Usage:
+//
+//	go test -run xxx -bench EvalTAASR -benchmem ./internal/metrics/ | go run ./cmd/benchjson -o BENCH_eval.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark line in normalized form.
+type Entry struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem was used.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// MBPerSec is present for benchmarks that call b.SetBytes.
+	MBPerSec *float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	e := Entry{Name: name, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			e.NsPerOp = v
+			seen = true
+		case "B/op":
+			b := v
+			e.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			e.AllocsPerOp = &a
+		case "MB/s":
+			m := v
+			e.MBPerSec = &m
+		}
+	}
+	return e, seen
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the raw output so the human still sees the run.
+		fmt.Fprintln(os.Stderr, line)
+		if e, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: wrote", *out)
+}

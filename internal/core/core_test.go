@@ -3,12 +3,14 @@ package core
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"rowhammer/internal/data"
 	"rowhammer/internal/dram"
 	"rowhammer/internal/memsys"
 	"rowhammer/internal/metrics"
 	"rowhammer/internal/models"
+	"rowhammer/internal/nn"
 	"rowhammer/internal/pretrain"
 	"rowhammer/internal/quant"
 )
@@ -322,5 +324,71 @@ func TestExecuteOnlineValidation(t *testing.T) {
 	sys := memsys.NewSystem(mod)
 	if _, err := ExecuteOnline(sys, make([]byte, 100), nil, DefaultOnlineConfig(1)); err == nil {
 		t.Fatal("unaligned file must fail")
+	}
+}
+
+// TestOfflineQuantVsFloatEval runs the identical offline attack twice —
+// greedy refinement scored on the int8 engine (default) and forced onto
+// the fp32 graph — and checks the resulting backdoors are equivalent:
+// same flip budget discipline and TA/ASR within the quantization-noise
+// tolerance of each other on both evaluation engines.
+func TestOfflineQuantVsFloatEval(t *testing.T) {
+	res, mcfg := trainedVictim(t)
+	run := func(float32Eval bool) (*Result, *nn.Model) {
+		model, err := pretrain.CloneModel(*mcfg, res.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages := quant.NewQuantizer(model).NumPages()
+		nflip := 5
+		if nflip > pages {
+			nflip = pages
+		}
+		cfg := attackConfig(nflip)
+		cfg.Float32Eval = float32Eval
+		out, err := RunOffline(model, res.Test.Head(64), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, model
+	}
+	t0 := time.Now()
+	outQ, mQ := run(false)
+	dQ := time.Since(t0)
+	t0 = time.Now()
+	outF, mF := run(true)
+	dF := time.Since(t0)
+	t.Logf("offline attack wall-clock: int8 refine %v, fp32 refine %v", dQ, dF)
+
+	if outQ.NFlip == 0 || outF.NFlip == 0 {
+		t.Fatalf("an attack flipped nothing: int8 %d, fp32 %d", outQ.NFlip, outF.NFlip)
+	}
+
+	// Score each backdoored model on both inference engines.
+	taQ := metrics.TestAccuracy(mQ, res.Test)
+	taF := metrics.TestAccuracy(mF, res.Test)
+	asrQ := metrics.AttackSuccessRate(mQ, res.Test, outQ.Trigger, 2)
+	asrF := metrics.AttackSuccessRate(mF, res.Test, outF.Trigger, 2)
+	qmQ := quant.NewQModel(outQ.Quantizer)
+	taQ8 := metrics.TestAccuracy(qmQ, res.Test)
+	asrQ8 := metrics.AttackSuccessRate(qmQ, res.Test, outQ.Trigger, 2)
+
+	t.Logf("int8-refined: TA %.3f (int8 eval %.3f), ASR %.3f (int8 eval %.3f), NFlip %d",
+		taQ, taQ8, asrQ, asrQ8, outQ.NFlip)
+	t.Logf("fp32-refined: TA %.3f, ASR %.3f, NFlip %d", taF, asrF, outF.NFlip)
+
+	if d := taQ - taF; d < -0.1 || d > 0.1 {
+		t.Fatalf("TA diverges between refinement engines: %.3f vs %.3f", taQ, taF)
+	}
+	if d := asrQ - asrF; d < -0.15 || d > 0.15 {
+		t.Fatalf("ASR diverges between refinement engines: %.3f vs %.3f", asrQ, asrF)
+	}
+	// The deployed (int8) view of the attacked model must agree with its
+	// fp32 twin — same weights, different engine.
+	if d := taQ - taQ8; d < -0.05 || d > 0.05 {
+		t.Fatalf("TA engine gap: fp32 %.3f vs int8 %.3f", taQ, taQ8)
+	}
+	if d := asrQ - asrQ8; d < -0.05 || d > 0.05 {
+		t.Fatalf("ASR engine gap: fp32 %.3f vs int8 %.3f", asrQ, asrQ8)
 	}
 }

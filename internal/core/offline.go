@@ -64,6 +64,14 @@ type Config struct {
 	// transformation (e.g. weight reconstruction) before measuring, so
 	// the kept flips survive the defense.
 	WrapLoss func(eval func() float32) float32
+	// Float32Eval forces the constraint-enforcement loss evaluations
+	// onto the fp32 graph. By default the greedy refinement scores
+	// candidate flips on the native int8 engine — the representation the
+	// deployed victim actually runs — which is also markedly faster.
+	// WrapLoss implies fp32 evaluation regardless: recovery
+	// transformations mutate model floats directly, bypassing the
+	// quantizer's codes the int8 engine executes.
+	Float32Eval bool
 }
 
 // DefaultConfig returns the paper's settings for a CIFAR-scale model.
@@ -173,6 +181,14 @@ func RunOffline(model *nn.Model, attackSet *data.Dataset, cfg Config) (*Result, 
 	nn.FreezeBatchNorm(model.Root)
 	q := quant.NewQuantizer(model)
 	orig := q.Codes()
+
+	// The greedy refinement's loss evaluations run on the int8 engine
+	// unless the caller opted out or installed a WrapLoss recovery hook
+	// (which mutates floats behind the quantizer's back).
+	var qm *quant.QModel
+	if !cfg.Float32Eval && cfg.WrapLoss == nil {
+		qm = quant.NewQModel(q)
+	}
 	if _, err := GroupSortSelect(make([]float32, q.NumWeights()), cfg.NFlip); err != nil {
 		return nil, err // validates NFlip against the page count
 	}
@@ -275,8 +291,14 @@ func RunOffline(model *nn.Model, attackSet *data.Dataset, cfg Config) (*Result, 
 
 		// Step 4: periodic constraint enforcement + Bit Reduction.
 		if (t+1)%cfg.BitReduceEvery == 0 || t == cfg.Iterations-1 {
+			fwd := func(x *tensor.Tensor) *tensor.Tensor {
+				if qm != nil {
+					return qm.Forward(x)
+				}
+				return model.Forward(x, false)
+			}
 			rawLoss := func() float32 {
-				return blendedLoss(model, refineBatch, refineTargets, trigger, cfg.Alpha)
+				return blendedLoss(fwd, refineBatch, refineTargets, trigger, cfg.Alpha)
 			}
 			lossFn := rawLoss
 			if cfg.WrapLoss != nil {
@@ -292,11 +314,12 @@ func RunOffline(model *nn.Model, attackSet *data.Dataset, cfg Config) (*Result, 
 }
 
 // blendedLoss evaluates the Eq. 3 objective (forward passes only) for
-// the greedy refinement.
-func blendedLoss(model *nn.Model, images *tensorBatch, target []int, trigger *data.Trigger, alpha float32) float32 {
-	cleanOut := model.Forward(images.clean, false)
+// the greedy refinement. fwd abstracts the inference engine so the same
+// scoring runs on the fp32 graph or the int8 engine.
+func blendedLoss(fwd func(*tensor.Tensor) *tensor.Tensor, images *tensorBatch, target []int, trigger *data.Trigger, alpha float32) float32 {
+	cleanOut := fwd(images.clean)
 	cleanLoss, _ := nn.CrossEntropy(cleanOut, images.labels, 1-alpha)
-	trigOut := model.Forward(images.triggered(trigger), false)
+	trigOut := fwd(images.triggered(trigger))
 	trigLoss, _ := nn.CrossEntropy(trigOut, target, alpha)
 	return cleanLoss + trigLoss
 }

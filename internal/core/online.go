@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"rowhammer/internal/memsys"
 	"rowhammer/internal/metrics"
 	"rowhammer/internal/profile"
+	"rowhammer/internal/tensor"
 )
 
 // OnlineConfig parameterizes the online (hammering) phase.
@@ -140,7 +142,11 @@ func ExecuteOnline(sys *memsys.System, weightFile []byte, reqs []profile.PageReq
 	return res, nil
 }
 
-// tally computes the online metrics from the observed corruption.
+// tally computes the online metrics from the observed corruption. The
+// byte-diff scan over the mapped file is embarrassingly parallel: each
+// worker tallies a disjoint range into private counters (reading the
+// shared required set, which is immutable by then), merged under one
+// lock at the chunk barrier.
 func (r *OnlineResult) tally(orig, corrupted []byte, reqs []profile.PageRequirement) {
 	required := make(map[[3]int]bool)
 	for _, req := range reqs {
@@ -150,26 +156,43 @@ func (r *OnlineResult) tally(orig, corrupted []byte, reqs []profile.PageRequirem
 		}
 	}
 	targetPages := make(map[int]bool)
-	for i := range orig {
-		d := orig[i] ^ corrupted[i]
-		if d == 0 {
-			continue
-		}
-		page := i / memsys.PageSize
-		off := i % memsys.PageSize
-		for bit := 0; bit < 8; bit++ {
-			if d&(1<<bit) == 0 {
+	workers := tensor.MaxWorkers()
+	if len(orig) < 1<<16 {
+		workers = 1
+	}
+	var mu sync.Mutex
+	tensor.ParallelChunks(len(orig), workers, func(lo, hi int) {
+		nFlip, nMatch, accidental := 0, 0, 0
+		pages := make(map[int]bool)
+		for i := lo; i < hi; i++ {
+			d := orig[i] ^ corrupted[i]
+			if d == 0 {
 				continue
 			}
-			r.NFlipOnline++
-			if required[[3]int{page, off, bit}] {
-				r.NMatch++
-			} else {
-				r.AccidentalFlips++
-				targetPages[page] = true
+			page := i / memsys.PageSize
+			off := i % memsys.PageSize
+			for bit := 0; bit < 8; bit++ {
+				if d&(1<<bit) == 0 {
+					continue
+				}
+				nFlip++
+				if required[[3]int{page, off, bit}] {
+					nMatch++
+				} else {
+					accidental++
+					pages[page] = true
+				}
 			}
 		}
-	}
+		mu.Lock()
+		r.NFlipOnline += nFlip
+		r.NMatch += nMatch
+		r.AccidentalFlips += accidental
+		for p := range pages {
+			targetPages[p] = true
+		}
+		mu.Unlock()
+	})
 	// δ: average accidental flips per disturbed page (0 when none).
 	deltaPerPage := 0.0
 	if len(targetPages) > 0 {

@@ -2,7 +2,7 @@ package defense
 
 import (
 	"rowhammer/internal/data"
-	"rowhammer/internal/nn"
+	"rowhammer/internal/metrics"
 	"rowhammer/internal/tensor"
 )
 
@@ -14,10 +14,23 @@ import (
 // queries, so the repeated inference is served by the same backdoored
 // weights (§VI-B).
 type DeepDyve struct {
-	// Main is the protected (possibly backdoored) model.
-	Main *nn.Model
+	// Main is the protected (possibly backdoored) model. Any engine
+	// works: the fp32 *nn.Model or the deployment-form int8
+	// *quant.QModel (the victim the paper attacks actually serves int8).
+	Main metrics.Predictor
 	// Checker is the small verification model.
-	Checker *nn.Model
+	Checker metrics.Predictor
+}
+
+// concurrentSafe reports whether both engines may be called from
+// several goroutines at once.
+func (d *DeepDyve) concurrentSafe() bool {
+	m, ok := d.Main.(metrics.ConcurrentPredictor)
+	if !ok || !m.ConcurrentSafe() {
+		return false
+	}
+	c, ok := d.Checker.(metrics.ConcurrentPredictor)
+	return ok && c.ConcurrentSafe()
 }
 
 // InferResult reports a DeepDyve-protected inference.
@@ -75,28 +88,48 @@ type DeepDyveReport struct {
 }
 
 // EvaluateDeepDyve measures the defense against a triggered dataset.
+// When both engines are concurrency-safe the batches fan out across the
+// persistent worker pool; each batch owns its pixel copy and a disjoint
+// counter slot.
 func EvaluateDeepDyve(d *DeepDyve, ds *data.Dataset, trigger *data.Trigger, target int) DeepDyveReport {
-	var rep DeepDyveReport
-	alarms, recovered, hits, total := 0, 0, 0, 0
-	for _, b := range ds.Batches(64) {
-		trigger.Apply(b.Images)
-		results := d.Infer(b.Images)
-		for i, r := range results {
-			if r.Alarmed {
-				alarms++
-				if r.Recovered {
-					recovered++
+	batches := ds.Batches(64)
+	type tallies struct{ alarms, recovered, hits, total int }
+	parts := make([]tallies, len(batches))
+	workers := 1
+	if d.concurrentSafe() {
+		workers = tensor.MaxWorkers()
+	}
+	tensor.ParallelChunks(len(batches), workers, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			b := batches[bi]
+			trigger.Apply(b.Images)
+			results := d.Infer(b.Images)
+			part := &parts[bi]
+			for i, r := range results {
+				if r.Alarmed {
+					part.alarms++
+					if r.Recovered {
+						part.recovered++
+					}
+				}
+				if b.Labels[i] == target {
+					continue
+				}
+				part.total++
+				if r.Pred == target {
+					part.hits++
 				}
 			}
-			if b.Labels[i] == target {
-				continue
-			}
-			total++
-			if r.Pred == target {
-				hits++
-			}
 		}
+	})
+	alarms, recovered, hits, total := 0, 0, 0, 0
+	for _, p := range parts {
+		alarms += p.alarms
+		recovered += p.recovered
+		hits += p.hits
+		total += p.total
 	}
+	var rep DeepDyveReport
 	n := float64(ds.Len())
 	if n > 0 {
 		rep.AlarmRate = float64(alarms) / n

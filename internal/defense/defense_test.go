@@ -349,3 +349,56 @@ func TestEvaluateGradCAMIdenticalModels(t *testing.T) {
 		t.Fatal("identical models must report identical Grad-CAM focus")
 	}
 }
+
+// TestDeepDyveQuantEngine runs the DeepDyve protocol with both engines
+// on the deployment-form int8 path and checks it reaches the same
+// verdicts as the fp32 pair on the identical corrupted weights — and
+// that the parallel (concurrency-safe) evaluation matches a pinned
+// single-worker run exactly.
+func TestDeepDyveQuantEngine(t *testing.T) {
+	r := victim(t)
+	corrupt := func(m *nn.Model) *quant.Quantizer {
+		q := quant.NewQuantizer(m)
+		for i := 0; i < q.NumWeights(); i += q.NumWeights() / 8 {
+			q.FlipBit(i, 7)
+		}
+		return q
+	}
+	mainF := cloneModel(t)
+	qMain := corrupt(mainF)
+	mainQ := quant.NewQModel(qMain)
+	checkF := cloneModel(t)
+	checkQ := quant.NewQModel(quant.NewQuantizer(checkF))
+	if !mainQ.ConcurrentSafe() || !checkQ.ConcurrentSafe() {
+		t.Fatal("resnet20 engines must be concurrency-safe")
+	}
+
+	trigger := data.NewSquareTrigger(3, 32, 32, 10)
+	ds := r.Test.Head(128)
+	ddF := &DeepDyve{Main: mainF, Checker: checkF}
+	ddQ := &DeepDyve{Main: mainQ, Checker: checkQ}
+	t0 := time.Now()
+	repF := EvaluateDeepDyve(ddF, ds, trigger, 2)
+	dF := time.Since(t0)
+	t0 = time.Now()
+	repQ := EvaluateDeepDyve(ddQ, ds, trigger, 2)
+	dQ := time.Since(t0)
+	t.Logf("DeepDyve sweep wall-clock: fp32 %v, int8 %v", dF, dQ)
+
+	prev := tensor.SetMaxWorkers(1)
+	repSeq := EvaluateDeepDyve(ddQ, ds, trigger, 2)
+	tensor.SetMaxWorkers(prev)
+	if repSeq != repQ {
+		t.Fatalf("parallel report %+v differs from sequential %+v", repQ, repSeq)
+	}
+
+	if repQ.RecoveredRate != 0 {
+		t.Fatalf("int8 re-run cannot recover persistent faults, got %.3f", repQ.RecoveredRate)
+	}
+	if d := repQ.AlarmRate - repF.AlarmRate; d < -0.1 || d > 0.1 {
+		t.Fatalf("alarm rate diverges across engines: int8 %.3f vs fp32 %.3f", repQ.AlarmRate, repF.AlarmRate)
+	}
+	if d := repQ.ASRDespiteDefense - repF.ASRDespiteDefense; d < -0.1 || d > 0.1 {
+		t.Fatalf("ASR-despite-defense diverges: int8 %.3f vs fp32 %.3f", repQ.ASRDespiteDefense, repF.ASRDespiteDefense)
+	}
+}

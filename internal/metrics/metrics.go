@@ -6,38 +6,80 @@ package metrics
 
 import (
 	"rowhammer/internal/data"
-	"rowhammer/internal/nn"
 	"rowhammer/internal/quant"
+	"rowhammer/internal/tensor"
 )
 
 // evalBatch is the batch size used for metric evaluation.
 const evalBatch = 64
 
+// Predictor is any model that classifies batches: the fp32 *nn.Model
+// and the int8 *quant.QModel both satisfy it, so every metric runs
+// unchanged on either engine.
+type Predictor interface {
+	Predict(x *tensor.Tensor) []int
+}
+
+// ConcurrentPredictor is optionally implemented by predictors that can
+// run Predict from several goroutines at once. Metric evaluation fans
+// batches out across the worker pool only when the predictor reports it
+// is safe; everything else — including *nn.Model, whose layers cache
+// per-call state — evaluates sequentially.
+type ConcurrentPredictor interface {
+	Predictor
+	ConcurrentSafe() bool
+}
+
+// evalBatches runs fn once per evaluation batch. When the predictor
+// declares itself concurrency-safe the batches are spread across the
+// persistent worker pool; each invocation owns its batch (Batches
+// copies the pixels), so fn may mutate the batch images freely but must
+// write only batch-indexed (disjoint) accumulator slots.
+func evalBatches(m Predictor, batches []data.Batch, fn func(bi int, b data.Batch)) {
+	workers := 1
+	if cp, ok := m.(ConcurrentPredictor); ok && cp.ConcurrentSafe() {
+		workers = tensor.MaxWorkers()
+	}
+	tensor.ParallelChunks(len(batches), workers, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			fn(bi, batches[bi])
+		}
+	})
+}
+
 // TestAccuracy returns the fraction of clean samples the model
 // classifies correctly (the TA metric).
-func TestAccuracy(m *nn.Model, ds *data.Dataset) float64 {
-	correct, total := 0, 0
-	for _, b := range ds.Batches(evalBatch) {
+func TestAccuracy(m Predictor, ds *data.Dataset) float64 {
+	batches := ds.Batches(evalBatch)
+	correct := make([]int, len(batches))
+	total := 0
+	evalBatches(m, batches, func(bi int, b data.Batch) {
 		preds := m.Predict(b.Images)
 		for i, p := range preds {
 			if p == b.Labels[i] {
-				correct++
+				correct[bi]++
 			}
-			total++
 		}
+	})
+	sum := 0
+	for bi, b := range batches {
+		sum += correct[bi]
+		total += len(b.Labels)
 	}
 	if total == 0 {
 		return 0
 	}
-	return float64(correct) / float64(total)
+	return float64(sum) / float64(total)
 }
 
 // AttackSuccessRate returns the fraction of trigger-stamped samples
 // classified as the target class (the ASR metric). Samples whose true
 // label already equals the target class are excluded, as is standard.
-func AttackSuccessRate(m *nn.Model, ds *data.Dataset, trigger *data.Trigger, target int) float64 {
-	hits, total := 0, 0
-	for _, b := range ds.Batches(evalBatch) {
+func AttackSuccessRate(m Predictor, ds *data.Dataset, trigger *data.Trigger, target int) float64 {
+	batches := ds.Batches(evalBatch)
+	hits := make([]int, len(batches))
+	counted := make([]int, len(batches))
+	evalBatches(m, batches, func(bi int, b data.Batch) {
 		trigger.Apply(b.Images)
 		preds := m.Predict(b.Images)
 		for i, p := range preds {
@@ -45,15 +87,20 @@ func AttackSuccessRate(m *nn.Model, ds *data.Dataset, trigger *data.Trigger, tar
 				continue
 			}
 			if p == target {
-				hits++
+				hits[bi]++
 			}
-			total++
+			counted[bi]++
 		}
+	})
+	sumHits, sumTotal := 0, 0
+	for bi := range batches {
+		sumHits += hits[bi]
+		sumTotal += counted[bi]
 	}
-	if total == 0 {
+	if sumTotal == 0 {
 		return 0
 	}
-	return float64(hits) / float64(total)
+	return float64(sumHits) / float64(sumTotal)
 }
 
 // NFlip is the paper's bit-flip count: the Hamming distance between the
@@ -82,20 +129,33 @@ func RMatch(nMatch, nFlip int, deltaPerPage float64) float64 {
 }
 
 // ConfusionMatrix counts predictions per (true, predicted) class pair.
-// When trigger is non-nil it is stamped on every sample first.
-func ConfusionMatrix(m *nn.Model, ds *data.Dataset, trigger *data.Trigger) [][]int {
+// When trigger is non-nil it is stamped on every sample first. Each
+// batch accumulates into a private matrix (disjoint slots), merged
+// after the barrier.
+func ConfusionMatrix(m Predictor, ds *data.Dataset, trigger *data.Trigger) [][]int {
 	k := ds.Classes
 	cm := make([][]int, k)
 	for i := range cm {
 		cm[i] = make([]int, k)
 	}
-	for _, b := range ds.Batches(evalBatch) {
+	batches := ds.Batches(evalBatch)
+	parts := make([][]int, len(batches))
+	evalBatches(m, batches, func(bi int, b data.Batch) {
+		part := make([]int, k*k)
 		if trigger != nil {
 			trigger.Apply(b.Images)
 		}
 		preds := m.Predict(b.Images)
 		for i, p := range preds {
-			cm[b.Labels[i]][p]++
+			part[b.Labels[i]*k+p]++
+		}
+		parts[bi] = part
+	})
+	for _, part := range parts {
+		for idx, c := range part {
+			if c != 0 {
+				cm[idx/k][idx%k] += c
+			}
 		}
 	}
 	return cm

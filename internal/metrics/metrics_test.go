@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"rowhammer/internal/data"
+	"rowhammer/internal/models"
 	"rowhammer/internal/nn"
 	"rowhammer/internal/quant"
 	"rowhammer/internal/tensor"
@@ -119,3 +120,93 @@ func TestTestAccuracyEmptyDataset(t *testing.T) {
 		t.Fatalf("TA on empty = %v", got)
 	}
 }
+
+// quantPredictor builds a trained-shape resnet20 int8 engine plus its
+// fp32 twin for the parallel/sequential and engine-agreement checks.
+func quantPredictor(t testing.TB) (*quant.QModel, *nn.Model, *data.Dataset) {
+	m, err := models.Build(models.Config{Arch: "resnet20", Classes: 4, WidthMult: 0.25, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := quant.NewQuantizer(m)
+	cfg := data.SynthConfig{Classes: 4, Samples: 160, H: 32, W: 32, Noise: 0.05, Seed: 21}
+	return quant.NewQModel(q), m, data.Synthesize(cfg, 33)
+}
+
+// TestMetricsParallelMatchesSequential pins the worker pool to one
+// thread, records every metric, then re-runs fully parallel on the
+// concurrency-safe int8 engine. The int8 forward is deterministic
+// (exact int32 accumulation), so all three metrics must agree exactly.
+func TestMetricsParallelMatchesSequential(t *testing.T) {
+	qm, _, ds := quantPredictor(t)
+	if !qm.ConcurrentSafe() {
+		t.Fatal("resnet20 quant plan must be concurrency-safe")
+	}
+	tr := data.NewSquareTrigger(3, 32, 32, 3)
+
+	prev := tensor.SetMaxWorkers(1)
+	seqTA := TestAccuracy(qm, ds)
+	seqASR := AttackSuccessRate(qm, ds, tr, 2)
+	seqCM := ConfusionMatrix(qm, ds, tr)
+	tensor.SetMaxWorkers(prev)
+
+	parTA := TestAccuracy(qm, ds)
+	parASR := AttackSuccessRate(qm, ds, tr, 2)
+	parCM := ConfusionMatrix(qm, ds, tr)
+
+	if seqTA != parTA {
+		t.Fatalf("TA sequential %v != parallel %v", seqTA, parTA)
+	}
+	if seqASR != parASR {
+		t.Fatalf("ASR sequential %v != parallel %v", seqASR, parASR)
+	}
+	for i := range seqCM {
+		for j := range seqCM[i] {
+			if seqCM[i][j] != parCM[i][j] {
+				t.Fatalf("cm[%d][%d] sequential %d != parallel %d", i, j, seqCM[i][j], parCM[i][j])
+			}
+		}
+	}
+}
+
+// TestMetricsQuantAgreesWithFloat checks the two engines see the same
+// dataset-level numbers within the quantization tolerance (TA/ASR are
+// fractions over 160 samples, so a handful of borderline samples is the
+// most the int8 noise may move).
+func TestMetricsQuantAgreesWithFloat(t *testing.T) {
+	qm, m, ds := quantPredictor(t)
+	taQ, taF := TestAccuracy(qm, ds), TestAccuracy(m, ds)
+	if math.Abs(taQ-taF) > 0.05 {
+		t.Fatalf("TA int8 %v vs fp32 %v", taQ, taF)
+	}
+	tr := data.NewSquareTrigger(3, 32, 32, 3)
+	asrQ, asrF := AttackSuccessRate(qm, ds, tr, 1), AttackSuccessRate(m, ds, tr, 1)
+	if math.Abs(asrQ-asrF) > 0.05 {
+		t.Fatalf("ASR int8 %v vs fp32 %v", asrQ, asrF)
+	}
+}
+
+// benchEvalTAASR measures one full TA + ASR evaluation pass — the unit
+// of work the offline attack's constraint loop and the defense suite
+// repeat thousands of times — single-threaded so the speedup reflects
+// engine efficiency, not core count.
+func benchEvalTAASR(b *testing.B, quantized bool) {
+	qm, m, ds := quantPredictor(b)
+	var p Predictor = m
+	if quantized {
+		p = qm
+	}
+	tr := data.NewSquareTrigger(3, 32, 32, 3)
+	defer tensor.SetMaxWorkers(tensor.SetMaxWorkers(1))
+	defer nn.SetBatchWorkers(nn.SetBatchWorkers(1))
+	TestAccuracy(p, ds) // warm pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TestAccuracy(p, ds)
+		AttackSuccessRate(p, ds, tr, 1)
+	}
+}
+
+func BenchmarkEvalTAASRQuant(b *testing.B) { benchEvalTAASR(b, true) }
+func BenchmarkEvalTAASRFloat(b *testing.B) { benchEvalTAASR(b, false) }

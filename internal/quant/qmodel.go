@@ -1,0 +1,706 @@
+package quant
+
+import (
+	"math"
+	"sync"
+
+	"rowhammer/internal/nn"
+	"rowhammer/internal/tensor"
+)
+
+// QModel is the native int8 inference engine: it runs the quantizer's
+// codes directly through the blocked int8 GEMM (int8×int8 → int32
+// accumulators) instead of dequantizing to fp32 and re-running the
+// float graph. This is the deployment form the paper attacks (a
+// TensorRT-style engine serving the mapped weight file), and it is what
+// makes the evaluate-after-flip loops of the offline attack and the
+// defense suite cheap.
+//
+// Construction compiles the float graph into a flat op list:
+//
+//   - Conv2D [+BatchNorm2D] [+ReLU] fuses into one op — the BN running
+//     statistics and gamma/beta fold into the conv's per-channel
+//     rescale, so the whole layer is a single int8 GEMM plus one fused
+//     fp32 epilogue.
+//   - Linear [+ReLU] likewise.
+//   - Pool/GAP/ReLU/residual-add run in fp32 between the quantized
+//     layers (activations are re-quantized per layer with a dynamic
+//     per-tensor scale max|x|/127, the symmetric twin of the weight
+//     scales).
+//   - Unknown layers (e.g. the binarization-aware convolutions) fall
+//     back to their float Forward, bridged by layout conversions.
+//
+// Activations flow in channel-major CNHW order: a conv's batched im2col
+// columns form ONE wide matrix (every sample side by side), so each
+// layer is a single GEMM whose int32 output is already the next layer's
+// CNHW input — no per-sample kernel launches and no layout shuffles in
+// the hot loop.
+//
+// Weight panels are packed once per tensor and cached; the quantizer's
+// code-change notifications invalidate exactly the touched tensor, so a
+// SetCode/FlipBit re-packs one layer and the next Forward reuses
+// everything else. Forward is safe for concurrent use when
+// ConcurrentSafe reports true (no fallback float layers, whose caches
+// are per-layer state). Mutating codes concurrently with Forward is not
+// supported, mirroring the float model.
+type QModel struct {
+	q     *Quantizer
+	model *nn.Model
+	ops   []qOp
+
+	// hasFallback marks plans that execute stateful float layers.
+	hasFallback bool
+	// packs maps parameter-tensor index → the pack cache to invalidate.
+	packs map[int]*packCache
+}
+
+// NewQModel compiles the quantized execution plan for the quantizer's
+// model and registers for incremental invalidation.
+func NewQModel(q *Quantizer) *QModel {
+	qm := &QModel{
+		q:     q,
+		model: q.Model(),
+		packs: make(map[int]*packCache),
+	}
+	qm.ops = qm.compile([]nn.Layer{q.Model().Root})
+	q.OnCodesChanged(func(pi int) {
+		if pi == AllParams {
+			for _, pc := range qm.packs {
+				pc.invalidate()
+			}
+			return
+		}
+		if pc, ok := qm.packs[pi]; ok {
+			pc.invalidate()
+		}
+	})
+	return qm
+}
+
+// Model returns the underlying float model.
+func (qm *QModel) Model() *nn.Model { return qm.model }
+
+// Quantizer returns the bound quantizer.
+func (qm *QModel) Quantizer() *Quantizer { return qm.q }
+
+// ConcurrentSafe reports whether Forward may be called from multiple
+// goroutines at once. Plans containing float fallback layers are not
+// safe because nn layers cache per-call state.
+func (qm *QModel) ConcurrentSafe() bool { return !qm.hasFallback }
+
+// Forward runs the quantized network on a batch — (N, C, H, W), or
+// (N, F) for flat-input models — and returns logits (N, K).
+func (qm *QModel) Forward(x *tensor.Tensor) *tensor.Tensor {
+	in := tensorToAct(x)
+	out := runOps(qm.ops, in)
+	k := out.c * out.h * out.w
+	n := out.n
+	hw := out.h * out.w
+	logits := tensor.New(n, k)
+	ld := logits.Data()
+	for c := 0; c < out.c; c++ {
+		for i := 0; i < n; i++ {
+			base := (c*n + i) * hw
+			copy(ld[i*k+c*hw:i*k+c*hw+hw], out.data[base:base+hw])
+		}
+	}
+	if out != in {
+		putAct(out)
+	}
+	putAct(in)
+	return logits
+}
+
+// Predict returns the argmax class for every sample in the batch.
+func (qm *QModel) Predict(x *tensor.Tensor) []int {
+	logits := qm.Forward(x)
+	n := logits.Dim(0)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = logits.ArgMaxRow(i)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Activations: pooled fp32 buffers in channel-major CNHW order, so the
+// (c, n) pair indexes a contiguous h·w plane and a conv's GEMM output
+// needs no reshuffle.
+
+type qact struct {
+	data       []float32
+	c, n, h, w int
+}
+
+func getAct(c, n, h, w int) *qact {
+	return &qact{data: tensor.GetF32(c * n * h * w), c: c, n: n, h: h, w: w}
+}
+
+func putAct(a *qact) {
+	if a == nil {
+		return
+	}
+	tensor.PutF32(a.data)
+	a.data = nil
+}
+
+// tensorToAct transposes a batch tensor — (N, C, H, W) or (N, F) — into
+// a channel-major activation.
+func tensorToAct(t *tensor.Tensor) *qact {
+	sh := t.Shape()
+	var n, c, h, w int
+	switch len(sh) {
+	case 2:
+		n, c, h, w = sh[0], sh[1], 1, 1
+	case 4:
+		n, c, h, w = sh[0], sh[1], sh[2], sh[3]
+	default:
+		panic("quant: unsupported activation rank")
+	}
+	a := getAct(c, n, h, w)
+	td := t.Data()
+	hw := h * w
+	for ci := 0; ci < c; ci++ {
+		for i := 0; i < n; i++ {
+			copy(a.data[(ci*n+i)*hw:(ci*n+i+1)*hw], td[(i*c+ci)*hw:(i*c+ci)*hw+hw])
+		}
+	}
+	return a
+}
+
+// actToTensor transposes back to (N, C, H, W) for float fallback layers.
+func actToTensor(a *qact) *tensor.Tensor {
+	t := tensor.New(a.n, a.c, a.h, a.w)
+	td := t.Data()
+	hw := a.h * a.w
+	for c := 0; c < a.c; c++ {
+		for i := 0; i < a.n; i++ {
+			copy(td[(i*a.c+c)*hw:(i*a.c+c)*hw+hw], a.data[(c*a.n+i)*hw:(c*a.n+i+1)*hw])
+		}
+	}
+	return t
+}
+
+// runOps threads an activation through an op chain. The input is owned
+// by the caller; every intermediate is returned to the pool.
+func runOps(ops []qOp, in *qact) *qact {
+	cur := in
+	for _, op := range ops {
+		next := op.forward(cur)
+		if cur != in && cur != next {
+			putAct(cur)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// workersFor sizes a ParallelChunks fan-out: tiny workloads run inline.
+func workersFor(work int) int {
+	if work < 4096 {
+		return 1
+	}
+	return tensor.MaxWorkers()
+}
+
+// quantizeSlice quantizes src into dst with the dynamic per-tensor
+// activation scale max|x|/127 and round-to-nearest, returning the scale.
+func quantizeSlice(dst []int8, src []float32) float32 {
+	workers := workersFor(len(src))
+	var mu sync.Mutex
+	var maxAbs float32
+	tensor.ParallelChunks(len(src), workers, func(lo, hi int) {
+		var m float32
+		for _, v := range src[lo:hi] {
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+		mu.Lock()
+		if m > maxAbs {
+			maxAbs = m
+		}
+		mu.Unlock()
+	})
+	if maxAbs == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 1
+	}
+	inv := qmax / maxAbs
+	tensor.ParallelChunks(len(src), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f := src[i] * inv
+			var c int32
+			if f >= 0 {
+				c = int32(f + 0.5)
+			} else {
+				c = int32(f - 0.5)
+			}
+			if c > qmax {
+				c = qmax
+			} else if c < -qmax {
+				c = -qmax
+			}
+			dst[i] = int8(c)
+		}
+	})
+	return maxAbs / qmax
+}
+
+// ---------------------------------------------------------------------
+// Packed-weight cache with incremental invalidation.
+
+type packCache struct {
+	mu     sync.Mutex
+	valid  bool
+	panels []int16
+}
+
+func (pc *packCache) invalidate() {
+	pc.mu.Lock()
+	pc.valid = false
+	pc.mu.Unlock()
+}
+
+// panelsFor returns the packed panels, repacking under the lock when a
+// code change invalidated them. Concurrent forwards share the result.
+func (pc *packCache) panelsFor(codes []int8, m, k int) []int16 {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if !pc.valid {
+		need := tensor.PackAI8Len(m, k)
+		if cap(pc.panels) < need {
+			pc.panels = make([]int16, need)
+		}
+		pc.panels = pc.panels[:need]
+		tensor.PackAI8(pc.panels, codes, m, k)
+		pc.valid = true
+	}
+	return pc.panels
+}
+
+// qweights binds an op to its live code segment and pack cache.
+type qweights struct {
+	codes []int8
+	scale float32
+	pack  packCache
+}
+
+func (qm *QModel) bindWeights(w *qweights, p *nn.Param) {
+	pi := qm.q.ParamIndexOf(p)
+	w.codes, w.scale = qm.q.ParamCodes(pi)
+	qm.packs[pi] = &w.pack
+}
+
+// ---------------------------------------------------------------------
+// Plan compilation.
+
+type qOp interface {
+	forward(in *qact) *qact
+}
+
+// compile lowers a layer list into the op plan, fusing Conv+BN+ReLU and
+// Linear+ReLU and batching unknown layers into float fallback ops.
+func (qm *QModel) compile(layers []nn.Layer) []qOp {
+	var ops []qOp
+	var pending []nn.Layer
+	flush := func() {
+		if len(pending) > 0 {
+			ops = append(ops, &qFallbackOp{layers: pending})
+			qm.hasFallback = true
+			pending = nil
+		}
+	}
+	for i := 0; i < len(layers); i++ {
+		switch v := layers[i].(type) {
+		case *nn.Sequential:
+			flush()
+			ops = append(ops, qm.compile(v.Layers())...)
+		case *nn.Residual:
+			flush()
+			r := &qResidualOp{main: qm.compile([]nn.Layer{v.Main})}
+			if v.Shortcut != nil {
+				r.shortcut = qm.compile([]nn.Layer{v.Shortcut})
+			}
+			ops = append(ops, r)
+		case *nn.Conv2D:
+			flush()
+			op := &qConvOp{conv: v}
+			if j := i + 1; j < len(layers) {
+				if bn, ok := layers[j].(*nn.BatchNorm2D); ok {
+					op.bn = bn
+					i = j
+				}
+			}
+			if j := i + 1; j < len(layers) {
+				if _, ok := layers[j].(*nn.ReLU); ok {
+					op.relu = true
+					i = j
+				}
+			}
+			qm.bindWeights(&op.qweights, v.Weight)
+			ops = append(ops, op)
+		case *nn.Linear:
+			flush()
+			op := &qLinearOp{lin: v}
+			if j := i + 1; j < len(layers) {
+				if _, ok := layers[j].(*nn.ReLU); ok {
+					op.relu = true
+					i = j
+				}
+			}
+			qm.bindWeights(&op.qweights, v.Weight)
+			ops = append(ops, op)
+		case *nn.ReLU:
+			flush()
+			ops = append(ops, &qReluOp{})
+		case *nn.MaxPool2D:
+			flush()
+			ops = append(ops, &qMaxPoolOp{pool: v})
+		case *nn.GlobalAvgPool:
+			flush()
+			ops = append(ops, &qGapOp{})
+		case *nn.Flatten:
+			flush()
+			// Logical only: qLinearOp gathers features straight from the
+			// channel-major layout, so flatten moves no data.
+		default:
+			pending = append(pending, layers[i])
+		}
+	}
+	flush()
+	return ops
+}
+
+// ---------------------------------------------------------------------
+// Ops.
+
+// qConvOp is a fused Conv[+BN][+ReLU] layer on int8 codes: quantize the
+// input, batched im2col into one wide column matrix, one int8 GEMM, and
+// a per-channel fp32 epilogue folding the activation/weight scales, the
+// conv bias and the BatchNorm affine (running statistics) — plus the
+// ReLU clamp — into a single pass over the int32 accumulators.
+type qConvOp struct {
+	qweights
+	conv *nn.Conv2D
+	bn   *nn.BatchNorm2D // nil when the conv is not followed by BN
+	relu bool
+}
+
+func (op *qConvOp) forward(in *qact) *qact {
+	inC, outC, kh, kw, stride, pad := op.conv.Geom()
+	if in.c != inC {
+		panic("quant: conv input channel mismatch")
+	}
+	n, h, w := in.n, in.h, in.w
+	oh, ow := op.conv.OutSize(h, w)
+	ohow := oh * ow
+	ncols := n * ohow
+	ckk := inC * kh * kw
+
+	xq := tensor.GetI8(len(in.data))
+	sx := quantizeSlice(xq, in.data)
+
+	bcol := tensor.GetI8(ckk * ncols)
+	chanStride := n * h * w
+	hwIn := h * w
+	tensor.ParallelChunks(n, workersFor(ckk*ncols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tensor.Im2ColI8(xq[i*hwIn:], chanStride, inC, h, w, kh, kw, stride, pad,
+				bcol, ncols, i*ohow)
+		}
+	})
+	tensor.PutI8(xq)
+
+	acc := tensor.GetI32(outC * ncols)
+	pa := op.pack.panelsFor(op.codes, outC, ckk)
+	tensor.GemmI8PackedA(acc, pa, outC, ckk, bcol, ncols)
+	tensor.PutI8(bcol)
+
+	out := getAct(outC, n, oh, ow)
+	mul := tensor.GetF32(outC)
+	shift := tensor.GetF32(outC)
+	op.epilogueCoeffs(sx, mul, shift)
+	relu := op.relu
+	od := out.data
+	tensor.ParallelChunks(outC, workersFor(outC*ncols), func(lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			mo, so := mul[oc], shift[oc]
+			src := acc[oc*ncols : (oc+1)*ncols]
+			dst := od[oc*ncols : (oc+1)*ncols]
+			if relu {
+				for j, v := range src {
+					f := float32(v)*mo + so
+					if f < 0 {
+						f = 0
+					}
+					dst[j] = f
+				}
+			} else {
+				for j, v := range src {
+					dst[j] = float32(v)*mo + so
+				}
+			}
+		}
+	})
+	tensor.PutF32(mul)
+	tensor.PutF32(shift)
+	tensor.PutI32(acc)
+	return out
+}
+
+// epilogueCoeffs folds sx·sw, the conv bias and the BN affine into
+// per-channel (mul, shift), read live from the model floats so flips to
+// bias/gamma/beta params are honored without any cache plumbing.
+func (op *qConvOp) epilogueCoeffs(sx float32, mul, shift []float32) {
+	base := sx * op.scale
+	var bias []float32
+	if op.conv.Bias != nil {
+		bias = op.conv.Bias.W.Data()
+	}
+	if op.bn == nil {
+		for oc := range mul {
+			mul[oc] = base
+			if bias != nil {
+				shift[oc] = bias[oc]
+			} else {
+				shift[oc] = 0
+			}
+		}
+		return
+	}
+	g := op.bn.Gamma.W.Data()
+	bt := op.bn.Beta.W.Data()
+	eps := float64(op.bn.Eps())
+	for oc := range mul {
+		istd := float32(1 / math.Sqrt(float64(op.bn.RunningVar[oc])+eps))
+		a := g[oc] * istd
+		mul[oc] = base * a
+		s := bt[oc] - op.bn.RunningMean[oc]*a
+		if bias != nil {
+			s += bias[oc] * a
+		}
+		shift[oc] = s
+	}
+}
+
+// qLinearOp is a fused Linear[+ReLU] on int8 codes. The channel-major
+// activation (c·h·w, n) is exactly the (In × N) right-hand side the
+// GEMM wants; when h=w=1 (the classifier position) the quantized input
+// needs no gather at all.
+type qLinearOp struct {
+	qweights
+	lin  *nn.Linear
+	relu bool
+}
+
+func (op *qLinearOp) forward(in *qact) *qact {
+	inF, outF := op.lin.Dims()
+	n := in.n
+	hw := in.h * in.w
+	if in.c*hw != inF {
+		panic("quant: linear input width mismatch")
+	}
+	xq := tensor.GetI8(inF * n)
+	var sx float32
+	if hw == 1 {
+		sx = quantizeSlice(xq, in.data)
+	} else {
+		// Gather (c, n, hw) → (c·hw, n) while quantizing.
+		var mu sync.Mutex
+		var maxAbs float32
+		tensor.ParallelChunks(len(in.data), workersFor(len(in.data)), func(lo, hi int) {
+			var m float32
+			for _, v := range in.data[lo:hi] {
+				if v < 0 {
+					v = -v
+				}
+				if v > m {
+					m = v
+				}
+			}
+			mu.Lock()
+			if m > maxAbs {
+				maxAbs = m
+			}
+			mu.Unlock()
+		})
+		if maxAbs == 0 {
+			maxAbs = qmax // scale 1; all codes quantize to 0
+		}
+		inv := qmax / maxAbs
+		src := in.data
+		for c := 0; c < in.c; c++ {
+			for i := 0; i < n; i++ {
+				base := (c*n + i) * hw
+				for s := 0; s < hw; s++ {
+					f := src[base+s] * inv
+					var q8 int32
+					if f >= 0 {
+						q8 = int32(f + 0.5)
+					} else {
+						q8 = int32(f - 0.5)
+					}
+					if q8 > qmax {
+						q8 = qmax
+					} else if q8 < -qmax {
+						q8 = -qmax
+					}
+					xq[(c*hw+s)*n+i] = int8(q8)
+				}
+			}
+		}
+		sx = maxAbs / qmax
+	}
+
+	acc := tensor.GetI32(outF * n)
+	pa := op.pack.panelsFor(op.codes, outF, inF)
+	tensor.GemmI8PackedA(acc, pa, outF, inF, xq, n)
+	tensor.PutI8(xq)
+
+	out := getAct(outF, n, 1, 1)
+	mulS := sx * op.scale
+	var bias []float32
+	if op.lin.Bias != nil {
+		bias = op.lin.Bias.W.Data()
+	}
+	od := out.data
+	for o := 0; o < outF; o++ {
+		var b float32
+		if bias != nil {
+			b = bias[o]
+		}
+		src := acc[o*n : (o+1)*n]
+		dst := od[o*n : (o+1)*n]
+		if op.relu {
+			for i, v := range src {
+				f := float32(v)*mulS + b
+				if f < 0 {
+					f = 0
+				}
+				dst[i] = f
+			}
+		} else {
+			for i, v := range src {
+				dst[i] = float32(v)*mulS + b
+			}
+		}
+	}
+	tensor.PutI32(acc)
+	return out
+}
+
+// qReluOp clamps in place (layout-agnostic).
+type qReluOp struct{}
+
+func (op *qReluOp) forward(in *qact) *qact {
+	d := in.data
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+	return in
+}
+
+// qMaxPoolOp pools each (channel, sample) plane.
+type qMaxPoolOp struct {
+	pool *nn.MaxPool2D
+}
+
+func (op *qMaxPoolOp) forward(in *qact) *qact {
+	k, stride := op.pool.Window()
+	c, n, h, w := in.c, in.n, in.h, in.w
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	out := getAct(c, n, oh, ow)
+	hw, ohow := h*w, oh*ow
+	xd, od := in.data, out.data
+	tensor.ParallelChunks(c*n, workersFor(c*n*ohow*k*k), func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			inBase := p * hw
+			outBase := p * ohow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := xd[inBase+oy*stride*w+ox*stride]
+					for ky := 0; ky < k; ky++ {
+						row := inBase + (oy*stride+ky)*w
+						for kx := 0; kx < k; kx++ {
+							if v := xd[row+ox*stride+kx]; v > best {
+								best = v
+							}
+						}
+					}
+					od[outBase+oy*ow+ox] = best
+				}
+			}
+		}
+	})
+	return out
+}
+
+// qGapOp averages each (channel, sample) plane to (c, n).
+type qGapOp struct{}
+
+func (op *qGapOp) forward(in *qact) *qact {
+	hw := in.h * in.w
+	out := getAct(in.c, in.n, 1, 1)
+	inv := 1 / float32(hw)
+	xd, od := in.data, out.data
+	for p := 0; p < in.c*in.n; p++ {
+		var s float32
+		base := p * hw
+		for j := 0; j < hw; j++ {
+			s += xd[base+j]
+		}
+		od[p] = s * inv
+	}
+	return out
+}
+
+// qResidualOp runs both branches on the same input and applies the
+// block's add+ReLU epilogue in place on the main branch's output.
+type qResidualOp struct {
+	main     []qOp
+	shortcut []qOp // nil for identity
+}
+
+func (op *qResidualOp) forward(in *qact) *qact {
+	mo := runOps(op.main, in)
+	so := in
+	if op.shortcut != nil {
+		so = runOps(op.shortcut, in)
+	}
+	md, sd := mo.data, so.data
+	for i := range md {
+		f := md[i] + sd[i]
+		if f < 0 {
+			f = 0
+		}
+		md[i] = f
+	}
+	if so != in {
+		putAct(so)
+	}
+	return mo
+}
+
+// qFallbackOp bridges layers the quantized engine does not lower
+// (binarized convs, taps): convert to NCHW, run the float forwards in
+// eval mode, convert back. Plans containing it are not concurrency-safe.
+type qFallbackOp struct {
+	layers []nn.Layer
+}
+
+func (op *qFallbackOp) forward(in *qact) *qact {
+	x := actToTensor(in)
+	for _, l := range op.layers {
+		x = l.Forward(x, false)
+	}
+	return tensorToAct(x)
+}

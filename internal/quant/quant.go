@@ -29,6 +29,34 @@ type Quantizer struct {
 	scales  []float32 // one Δw per parameter tensor
 	codes   []int8    // flat codes in weight-file order
 	offsets []int     // start offset of each parameter tensor in codes
+
+	// listeners are notified when codes change: with the parameter-
+	// tensor index for a single-weight change, or AllParams for a bulk
+	// rewrite. The quantized inference engine registers here so a
+	// FlipBit invalidates only the packed panels of the touched tensor.
+	listeners []func(pi int)
+
+	// fileBuf backs WeightFileBytes across calls (the offline constraint
+	// loop serializes the file repeatedly).
+	fileBuf []byte
+}
+
+// AllParams is the listener argument meaning "every parameter tensor
+// changed" (bulk operations: Requantize, LoadCodes, LoadWeightFileBytes).
+const AllParams = -1
+
+// OnCodesChanged registers fn to run after every code mutation, with
+// the affected parameter-tensor index or AllParams. Registration is not
+// synchronized with mutations — register before sharing the quantizer
+// across goroutines.
+func (q *Quantizer) OnCodesChanged(fn func(pi int)) {
+	q.listeners = append(q.listeners, fn)
+}
+
+func (q *Quantizer) notify(pi int) {
+	for _, fn := range q.listeners {
+		fn(pi)
+	}
 }
 
 // NewQuantizer quantizes the model's current weights. The per-tensor
@@ -115,6 +143,7 @@ func (q *Quantizer) Requantize() {
 			w[j] = float32(c) * scale
 		}
 	}
+	q.notify(AllParams)
 }
 
 // Code returns the int8 code of flat weight i.
@@ -125,6 +154,46 @@ func (q *Quantizer) Codes() []int8 {
 	return append([]int8(nil), q.codes...)
 }
 
+// CodesInto copies all codes into dst (grown if needed) and returns it,
+// so hot loops can snapshot codes without allocating per call.
+func (q *Quantizer) CodesInto(dst []int8) []int8 {
+	if cap(dst) < len(q.codes) {
+		dst = make([]int8, len(q.codes))
+	}
+	dst = dst[:len(q.codes)]
+	copy(dst, q.codes)
+	return dst
+}
+
+// CodesView returns the live backing slice of the codes in weight-file
+// order. The slice aliases the quantizer's state: it must be treated as
+// read-only and is invalidated semantically by any code mutation. The
+// quantized inference engine uses it to run GEMM directly on the codes
+// with zero copies.
+func (q *Quantizer) CodesView() []int8 { return q.codes }
+
+// ParamCodes returns the live code segment and scale of parameter
+// tensor pi (read-only, like CodesView).
+func (q *Quantizer) ParamCodes(pi int) (codes []int8, scale float32) {
+	lo := q.offsets[pi]
+	hi := len(q.codes)
+	if pi+1 < len(q.offsets) {
+		hi = q.offsets[pi+1]
+	}
+	return q.codes[lo:hi], q.scales[pi]
+}
+
+// ParamIndexOf maps a parameter pointer of the bound model to its
+// tensor index, or -1 when the parameter is not part of the model.
+func (q *Quantizer) ParamIndexOf(p *nn.Param) int {
+	for i, mp := range q.model.Params() {
+		if mp == p {
+			return i
+		}
+	}
+	return -1
+}
+
 // SetCode overwrites the code of weight i and writes the dequantized
 // value through to the model's float weight.
 func (q *Quantizer) SetCode(i int, c int8) {
@@ -132,6 +201,7 @@ func (q *Quantizer) SetCode(i int, c int8) {
 	pi := q.paramOf(i)
 	p := q.model.Params()[pi]
 	p.W.Data()[i-q.offsets[pi]] = float32(c) * q.scales[pi]
+	q.notify(pi)
 }
 
 // LoadCodes replaces every code (length must match) and syncs the model
@@ -141,6 +211,12 @@ func (q *Quantizer) LoadCodes(codes []int8) {
 		panic("quant: code length mismatch")
 	}
 	copy(q.codes, codes)
+	q.syncFloats()
+	q.notify(AllParams)
+}
+
+// syncFloats overwrites every model float with its dequantized code.
+func (q *Quantizer) syncFloats() {
 	params := q.model.Params()
 	for pi, p := range params {
 		scale := q.scales[pi]
@@ -161,11 +237,20 @@ func (q *Quantizer) FlipBit(i int, bit uint) {
 
 // WeightFileBytes serializes the codes as the raw two's-complement
 // weight file the victim maps into memory, zero-padded to a whole
-// number of pages.
+// number of pages. The returned buffer is owned by the quantizer and
+// reused by the next WeightFileBytes call — callers that keep the bytes
+// across serializations must copy them.
 func (q *Quantizer) WeightFileBytes() []byte {
-	out := make([]byte, q.NumPages()*PageSize)
+	n := q.NumPages() * PageSize
+	if cap(q.fileBuf) < n {
+		q.fileBuf = make([]byte, n)
+	}
+	out := q.fileBuf[:n]
 	for i, c := range q.codes {
 		out[i] = byte(c)
+	}
+	for i := len(q.codes); i < n; i++ {
+		out[i] = 0
 	}
 	return out
 }
@@ -177,11 +262,11 @@ func (q *Quantizer) LoadWeightFileBytes(buf []byte) {
 	if len(buf) < len(q.codes) {
 		panic("quant: weight file too short")
 	}
-	codes := make([]int8, len(q.codes))
-	for i := range codes {
-		codes[i] = int8(buf[i])
+	for i := range q.codes {
+		q.codes[i] = int8(buf[i])
 	}
-	q.LoadCodes(codes)
+	q.syncFloats()
+	q.notify(AllParams)
 }
 
 // BitReduce implements Algorithm 1 step 4: given the original code and a

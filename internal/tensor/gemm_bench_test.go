@@ -23,11 +23,11 @@ type gemmBenchShape struct {
 
 // conv layers lower to (outC × inC·KH·KW) · (inC·KH·KW × OH·OW).
 var gemmBenchShapes = []gemmBenchShape{
-	{"headline_128x576x1024", 128, 576, 1024},   // acceptance-target shape
+	{"headline_128x576x1024", 128, 576, 1024},     // acceptance-target shape
 	{"resnet20_w1_L1_16x144x1024", 16, 144, 1024}, // 16ch 3×3 on 32×32
-	{"resnet20_w1_L3_64x576x64", 64, 576, 64},   // 64ch 3×3 on 8×8
-	{"vgg11_w025_128x1152x64", 128, 1152, 64},   // 512·w ch 3×3 on 8×8
-	{"linear_fwd_32x128x10", 32, 128, 10},       // fc head, batch 32
+	{"resnet20_w1_L3_64x576x64", 64, 576, 64},     // 64ch 3×3 on 8×8
+	{"vgg11_w025_128x1152x64", 128, 1152, 64},     // 512·w ch 3×3 on 8×8
+	{"linear_fwd_32x128x10", 32, 128, 10},         // fc head, batch 32
 }
 
 func benchTensors(m, k, n int) (a, b, c *Tensor) {

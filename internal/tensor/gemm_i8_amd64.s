@@ -1,0 +1,147 @@
+// AVX2 micro-kernel for the blocked int8 GEMM engine (gemm_i8.go).
+// Selected at runtime by gemm_i8_amd64.go when CPUID reports AVX2 with
+// OS-enabled YMM state.
+
+#include "textflag.h"
+
+// func gemmI8Kernel4x16Asm(kc2 int, ap, bp *int16, c *int32, ldc int)
+//
+// Accumulates a 4×16 int32 tile over int16-pair panels:
+//
+//	c[r*ldc + j] += Σ_p2 ap[p2*8 + 2r]·bp[p2*32 + 2j] +
+//	                     ap[p2*8 + 2r+1]·bp[p2*32 + 2j+1]
+//
+// Per k-pair, the B panel holds 16 interleaved (even, odd) int16 column
+// pairs (two YMM loads) and the A panel holds 4 row pairs, each
+// broadcast as one 32-bit lane (VPBROADCASTD). VPMADDWD multiplies the
+// int16 pairs and adds each pair-product into one int32 lane — the
+// exact signed dot product — and VPADDD folds it into one of the eight
+// YMM accumulators kept live across the whole loop.
+TEXT ·gemmI8Kernel4x16Asm(SB), NOSPLIT, $0-40
+	MOVQ kc2+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8             // row stride in bytes
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JZ    writeback
+
+kloop:
+	VMOVDQU (DI), Y12       // B column pairs 0–7
+	VMOVDQU 32(DI), Y13     // B column pairs 8–15
+
+	VPBROADCASTD (SI), Y14
+	VPMADDWD     Y12, Y14, Y15
+	VPADDD       Y15, Y0, Y0
+	VPMADDWD     Y13, Y14, Y15
+	VPADDD       Y15, Y1, Y1
+
+	VPBROADCASTD 4(SI), Y14
+	VPMADDWD     Y12, Y14, Y15
+	VPADDD       Y15, Y2, Y2
+	VPMADDWD     Y13, Y14, Y15
+	VPADDD       Y15, Y3, Y3
+
+	VPBROADCASTD 8(SI), Y14
+	VPMADDWD     Y12, Y14, Y15
+	VPADDD       Y15, Y4, Y4
+	VPMADDWD     Y13, Y14, Y15
+	VPADDD       Y15, Y5, Y5
+
+	VPBROADCASTD 12(SI), Y14
+	VPMADDWD     Y12, Y14, Y15
+	VPADDD       Y15, Y6, Y6
+	VPMADDWD     Y13, Y14, Y15
+	VPADDD       Y15, Y7, Y7
+
+	ADDQ $16, SI            // 4 int16 pairs of A
+	ADDQ $64, DI            // 16 int16 pairs of B
+	DECQ CX
+	JNZ  kloop
+
+writeback:
+	VMOVDQU (DX), Y12
+	VPADDD  Y0, Y12, Y12
+	VMOVDQU Y12, (DX)
+	VMOVDQU 32(DX), Y13
+	VPADDD  Y1, Y13, Y13
+	VMOVDQU Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVDQU (DX), Y12
+	VPADDD  Y2, Y12, Y12
+	VMOVDQU Y12, (DX)
+	VMOVDQU 32(DX), Y13
+	VPADDD  Y3, Y13, Y13
+	VMOVDQU Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVDQU (DX), Y12
+	VPADDD  Y4, Y12, Y12
+	VMOVDQU Y12, (DX)
+	VMOVDQU 32(DX), Y13
+	VPADDD  Y5, Y13, Y13
+	VMOVDQU Y13, 32(DX)
+	ADDQ    R8, DX
+
+	VMOVDQU (DX), Y12
+	VPADDD  Y6, Y12, Y12
+	VMOVDQU Y12, (DX)
+	VMOVDQU 32(DX), Y13
+	VPADDD  Y7, Y13, Y13
+	VMOVDQU Y13, 32(DX)
+
+	VZEROUPPER
+	RET
+
+// func packBPanelI8Asm(dst *int16, b *int8, ldb, npairs int)
+//
+// Packs npairs full k-pairs of one 16-column B panel: for pair i, rows
+// b[2i·ldb…] and b[(2i+1)·ldb…] are sign-extended to int16 and
+// interleaved column-wise, producing the 32-int16 (64-byte) pair layout
+// gemmI8Kernel4x16Asm consumes. VPUNPCK interleaves within 128-bit
+// lanes, so a VPERM2I128 pass restores sequential column order.
+TEXT ·packBPanelI8Asm(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ ldb+16(FP), R8
+	MOVQ npairs+24(FP), CX
+
+	LEAQ (SI)(R8*1), DX     // odd row pointer
+	SHLQ $1, R8             // advance both rows by 2·ldb per pair
+
+	TESTQ CX, CX
+	JZ    packdone
+
+packloop:
+	VPMOVSXBW (SI), Y0      // 16 int8 of even row → int16
+	VPMOVSXBW (DX), Y1      // 16 int8 of odd row → int16
+
+	VPUNPCKLWD Y1, Y0, Y2   // lanes: e0o0…e3o3 | e8o8…e11o11
+	VPUNPCKHWD Y1, Y0, Y3   // lanes: e4o4…e7o7 | e12o12…e15o15
+	VPERM2I128 $0x20, Y3, Y2, Y4 // columns 0–7 interleaved
+	VPERM2I128 $0x31, Y3, Y2, Y5 // columns 8–15 interleaved
+
+	VMOVDQU Y4, (DI)
+	VMOVDQU Y5, 32(DI)
+
+	ADDQ $64, DI
+	ADDQ R8, SI
+	ADDQ R8, DX
+	DECQ CX
+	JNZ  packloop
+
+packdone:
+	VZEROUPPER
+	RET

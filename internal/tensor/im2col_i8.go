@@ -1,0 +1,67 @@
+package tensor
+
+// Im2ColI8 lowers one quantized image into columns of a shared batched
+// column matrix, the int8 twin of Im2Col generalized for the quantized
+// engine's channel-major batch layout.
+//
+// The image's channel ch lives at img[ch*chanStride : ch*chanStride+h*w]
+// (chanStride = h*w recovers the plain CHW layout; the quantized
+// forward pass passes chanStride = n*h*w with img pointing at sample
+// i's plane inside a CNHW activation block). The (C·KH·KW) × (OH·OW)
+// column block is written into dst with row stride dstStride at column
+// offset colOff, so every sample of a batch lands in one wide matrix
+// and the whole layer reduces to a single GEMM. Zero padding emits the
+// zero code, which dequantizes to 0.0 exactly under symmetric
+// quantization.
+func Im2ColI8(img []int8, chanStride, c, h, w, kh, kw, stride, pad int, dst []int8, dstStride, colOff int) (oh, ow int) {
+	oh = (h+2*pad-kh)/stride + 1
+	ow = (w+2*pad-kw)/stride + 1
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * chanStride
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				out := dst[row*dstStride+colOff:]
+				idx := 0
+				// Valid ox range: 0 ≤ ox·stride + kx − pad < w.
+				xlo := 0
+				if pad > kx {
+					xlo = (pad - kx + stride - 1) / stride
+				}
+				xhi := (w - 1 - kx + pad) / stride
+				if xhi >= ow {
+					xhi = ow - 1
+				}
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h || xhi < xlo {
+						zeroI8(out[idx : idx+ow])
+						idx += ow
+						continue
+					}
+					rowBase := base + iy*w
+					zeroI8(out[idx : idx+xlo])
+					if stride == 1 {
+						// Contiguous interior: one memmove per row.
+						lo := rowBase + xlo + kx - pad
+						copy(out[idx+xlo:idx+xhi+1], img[lo:lo+xhi+1-xlo])
+					} else {
+						for ox := xlo; ox <= xhi; ox++ {
+							out[idx+ox] = img[rowBase+ox*stride+kx-pad]
+						}
+					}
+					zeroI8(out[idx+xhi+1 : idx+ow])
+					idx += ow
+				}
+				row++
+			}
+		}
+	}
+	return oh, ow
+}
+
+func zeroI8(s []int8) {
+	for i := range s {
+		s[i] = 0
+	}
+}

@@ -1,0 +1,87 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Typed buffer pools for the int8 inference engine: the quantized
+// forward path churns through int8 activation/column buffers, int16
+// pack panels and int32 accumulators at the same rate the float path
+// churns through float32 scratch, so they get the same size-classed
+// recycling treatment as pool.go. Classes are powers of two in element
+// count and share the float pool's bounds.
+
+type typedPoolClass[T any] struct {
+	mu   sync.Mutex
+	free [][]T
+}
+
+type typedPool[T any] struct {
+	classes [poolMaxBits + 1]typedPoolClass[T]
+}
+
+func (p *typedPool[T]) get(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	c := poolClassFor(n)
+	if c > poolMaxBits {
+		return make([]T, n)
+	}
+	cl := &p.classes[c]
+	cl.mu.Lock()
+	if last := len(cl.free) - 1; last >= 0 {
+		s := cl.free[last]
+		cl.free[last] = nil
+		cl.free = cl.free[:last]
+		cl.mu.Unlock()
+		return s[:n]
+	}
+	cl.mu.Unlock()
+	return make([]T, n, 1<<c)
+}
+
+func (p *typedPool[T]) put(s []T) {
+	c := cap(s)
+	if c < 1<<poolMinBits || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	if cls > poolMaxBits {
+		return
+	}
+	cl := &p.classes[cls]
+	cl.mu.Lock()
+	if len(cl.free) < poolMaxPerClass {
+		cl.free = append(cl.free, s[:0])
+	}
+	cl.mu.Unlock()
+}
+
+var (
+	i8Pool  typedPool[int8]
+	i16Pool typedPool[int16]
+	i32Pool typedPool[int32]
+)
+
+// GetI8 returns an int8 scratch slice of length n with unspecified
+// contents, recycled from the pool when possible. Release with PutI8.
+func GetI8(n int) []int8 { return i8Pool.get(n) }
+
+// PutI8 returns a slice obtained from GetI8 to the pool.
+func PutI8(s []int8) { i8Pool.put(s) }
+
+// GetI16 returns an int16 scratch slice of length n with unspecified
+// contents. Release with PutI16.
+func GetI16(n int) []int16 { return i16Pool.get(n) }
+
+// PutI16 returns a slice obtained from GetI16 to the pool.
+func PutI16(s []int16) { i16Pool.put(s) }
+
+// GetI32 returns an int32 scratch slice of length n with unspecified
+// contents. Release with PutI32.
+func GetI32(n int) []int32 { return i32Pool.get(n) }
+
+// PutI32 returns a slice obtained from GetI32 to the pool.
+func PutI32(s []int32) { i32Pool.put(s) }

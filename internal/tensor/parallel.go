@@ -21,6 +21,11 @@ func SetMaxWorkers(n int) int {
 	return prev
 }
 
+// MaxWorkers returns the current kernel parallelism bound, so callers
+// outside the package (the quantized engine, metric evaluation) can
+// size their own ParallelChunks fan-out consistently with the kernels.
+func MaxWorkers() int { return maxWorkers }
+
 // The numeric kernels share one process-wide pool of persistent worker
 // goroutines instead of spawning goroutines per call. The pool starts
 // lazily on the first parallel invocation; on a single-CPU machine (or

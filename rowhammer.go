@@ -168,9 +168,11 @@ func InjectBackdoor(v *Victim, cfg AttackConfig) (*Offline, error) {
 }
 
 // OfflineMetrics evaluates the backdoored model (as the attacker sees
-// it offline): test accuracy and attack success rate.
+// it offline): test accuracy and attack success rate. The evaluation
+// runs on the int8 engine — the deployment form whose codes the attack
+// actually flips — with batches fanned out across the worker pool.
 func (o *Offline) OfflineMetrics() (ta, asr float64) {
-	m := o.inner.Quantizer.Model()
+	m := quant.NewQModel(o.inner.Quantizer)
 	test := o.model.victim.result.Test
 	return metrics.TestAccuracy(m, test), metrics.AttackSuccessRate(m, test, o.inner.Trigger, o.target)
 }
@@ -281,9 +283,12 @@ func Evaluate(v *Victim, off *Offline, on *Online) (*Report, error) {
 	}
 	qv := quant.NewQuantizer(victimModel)
 	qv.LoadWeightFileBytes(on.inner.CorruptedFile)
+	// The victim serves the corrupted file through the int8 engine —
+	// exactly what deployment-form quantized inference would run.
+	qm := quant.NewQModel(qv)
 	test := v.result.Test
-	rep.OnlineTA = metrics.TestAccuracy(victimModel, test)
-	rep.OnlineASR = metrics.AttackSuccessRate(victimModel, test, off.Trigger, off.target)
+	rep.OnlineTA = metrics.TestAccuracy(qm, test)
+	rep.OnlineASR = metrics.AttackSuccessRate(qm, test, off.Trigger, off.target)
 	return rep, nil
 }
 
