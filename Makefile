@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test-short test-race bench-kernels bench-eval vet
+.PHONY: build test-short test-race bench-kernels bench-eval bench-train vet
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,10 @@ test-short:
 
 ## test-race: race detector over the packages with the concurrent kernels
 ## (worker pool, buffer pool, batch-parallel conv/batchnorm, int8 engine,
-## parallel metric evaluation).
+## parallel metric evaluation, and the data-parallel trainer incl. the
+## RunOffline short-mode determinism test in internal/core).
 test-race:
-	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics
+	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/core
 
 ## bench-kernels: blocked-GEMM and conv hot-path benchmarks with
 ## allocation counts. Naive twins run alongside for the speedup ratio.
@@ -28,6 +29,14 @@ bench-kernels:
 bench-eval:
 	$(GO) test -run xxx -bench 'EvalTAASR|QuantForward|FloatForward' -benchmem \
 		./internal/metrics/ ./internal/quant/ | $(GO) run ./cmd/benchjson -o BENCH_eval.json
+
+## bench-train: training-engine benchmarks — batch-32 ResNet-20
+## forward+backward (direct vs trainer at 1 and 4 workers, with
+## allocation counts) and the full RunOffline reference-attack
+## wall-clock — serialized to BENCH_train.json. Add
+## `-cpuprofile cpu.out` to the benchjson invocation for a profile.
+bench-train:
+	$(GO) run ./cmd/benchjson -bench 'TrainStep|OfflineAttack' -pkg ./internal/core -o BENCH_train.json
 
 ## vet: static checks plus a cross-compile of the portable (non-AVX2)
 ## code paths — the asm files are amd64-gated, so arm64 must build pure Go.

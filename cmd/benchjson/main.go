@@ -1,11 +1,16 @@
-// Command benchjson converts `go test -bench` output on stdin into a
-// machine-readable JSON report. It exists so `make bench-eval` can emit
-// BENCH_eval.json for the evaluation-loop benchmarks without any
-// external tooling.
+// Command benchjson produces machine-readable JSON reports from
+// `go test -bench` output. It has two modes:
 //
-// Usage:
+//   - Filter mode (default): parse benchmark output on stdin.
 //
-//	go test -run xxx -bench EvalTAASR -benchmem ./internal/metrics/ | go run ./cmd/benchjson -o BENCH_eval.json
+//     go test -run xxx -bench EvalTAASR -benchmem ./internal/metrics/ | go run ./cmd/benchjson -o BENCH_eval.json
+//
+//   - Runner mode (-bench): invoke `go test -bench` itself over the
+//     -pkg packages, parse as it streams, and optionally capture a CPU
+//     profile.
+//
+//     go run ./cmd/benchjson -bench 'TrainStep|OfflineAttack' -pkg ./internal/core -o BENCH_train.json
+//     go run ./cmd/benchjson -bench TrainStep -pkg ./internal/core -cpuprofile cpu.out
 package main
 
 import (
@@ -13,7 +18,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 )
@@ -80,10 +87,46 @@ func parseLine(line string) (Entry, bool) {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	bench := flag.String("bench", "", "benchmark pattern; when set, run `go test -bench` instead of reading stdin")
+	pkg := flag.String("pkg", "./...", "comma-separated package patterns for -bench mode")
+	benchtime := flag.String("benchtime", "", "passed through to go test (e.g. 1x, 3s)")
+	cpuprofile := flag.String("cpuprofile", "", "passed through to go test; requires a single -pkg package")
 	flag.Parse()
 
+	var in io.Reader = os.Stdin
+	var cmd *exec.Cmd
+	if *bench != "" {
+		args := []string{"test", "-run", "xxx", "-bench", *bench, "-benchmem"}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		if *cpuprofile != "" {
+			args = append(args, "-cpuprofile", *cpuprofile)
+		}
+		for _, p := range strings.Split(*pkg, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				args = append(args, p)
+			}
+		}
+		cmd = exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: go test:", err)
+			os.Exit(1)
+		}
+		in = pipe
+	} else if *cpuprofile != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -cpuprofile requires -bench (runner mode)")
+		os.Exit(1)
+	}
+
 	var rep Report
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -97,8 +140,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
+	if cmd != nil {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: go test:", err)
+			os.Exit(1)
+		}
+		if *cpuprofile != "" {
+			fmt.Fprintln(os.Stderr, "benchjson: cpu profile at", *cpuprofile,
+				"— inspect with `go tool pprof", *cpuprofile+"`")
+		}
+	}
 	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
 		os.Exit(1)
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")

@@ -94,17 +94,18 @@ func fineTune(model *nn.Model, attackSet *data.Dataset, params []*nn.Param, trig
 	}
 	opt := nn.NewSGD(params, cfg.LR, 0.9, 0)
 
+	// Gradient passes run on the data-parallel trainer; the optimizer
+	// only steps the caller's parameter subset, and the trainer resyncs
+	// replica weights from the master each iteration.
+	trainer := nn.NewTrainer(model, nn.DefaultTrainShards)
+	trigImages := batch.Images.Clone()
 	for t := 0; t < cfg.Iterations; t++ {
 		model.ZeroGrad()
-		cleanOut := model.Forward(batch.Images, true)
-		_, cleanGrad := nn.CrossEntropy(cleanOut, batch.Labels, 1-cfg.Alpha)
-		model.Backward(cleanGrad)
+		trainer.ForwardBackward(batch.Images, batch.Labels, 1-cfg.Alpha)
 
-		trigImages := batch.Images.Clone()
+		copy(trigImages.Data(), batch.Images.Data())
 		trigger.Apply(trigImages)
-		trigOut := model.Forward(trigImages, true)
-		_, trigGrad := nn.CrossEntropy(trigOut, targets, cfg.Alpha)
-		model.Backward(trigGrad)
+		trainer.ForwardBackward(trigImages, targets, cfg.Alpha)
 
 		opt.Step()
 	}

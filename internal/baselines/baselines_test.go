@@ -60,7 +60,11 @@ func smallCfg() Config {
 
 func TestBadNetInjectsBackdoorWithManyFlips(t *testing.T) {
 	r := clone(t)
-	out, err := BadNet(r.Model, r.Test.Head(32), smallCfg())
+	// Full-parameter fine-tuning diverges at smallCfg's LR (0.05 is
+	// tuned for the last-layer-only baselines); use the default step.
+	cfg := smallCfg()
+	cfg.LR = 0.01
+	out, err := BadNet(r.Model, r.Test.Head(32), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

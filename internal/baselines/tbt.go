@@ -84,13 +84,13 @@ func TBT(model *nn.Model, attackSet *data.Dataset, cfg TBTConfig) (*Result, erro
 	for i := range targets {
 		targets[i] = cfg.TargetClass
 	}
+	trainer := nn.NewTrainer(model, nn.DefaultTrainShards)
+	trigImages := batch.Images.Clone()
 	for t := 0; t < cfg.TriggerIters; t++ {
 		model.ZeroGrad()
-		imgs := batch.Images.Clone()
-		trigger.Apply(imgs)
-		out := model.Forward(imgs, true)
-		_, grad := nn.CrossEntropy(out, targets, 1)
-		inGrad := model.Backward(grad)
+		copy(trigImages.Data(), batch.Images.Data())
+		trigger.Apply(trigImages)
+		_, inGrad := trainer.ForwardBackward(trigImages, targets, 1)
 		tg := trigger.MaskedGradSum(inGrad)
 		trigger.UpdateFGSM(tg, -cfg.Epsilon)
 	}
@@ -98,15 +98,11 @@ func TBT(model *nn.Model, attackSet *data.Dataset, cfg TBTConfig) (*Result, erro
 	// Step 3: fine-tune only W[target, selected].
 	for t := 0; t < cfg.Iterations; t++ {
 		model.ZeroGrad()
-		cleanOut := model.Forward(batch.Images, true)
-		_, cleanGrad := nn.CrossEntropy(cleanOut, batch.Labels, 1-cfg.Alpha)
-		model.Backward(cleanGrad)
+		trainer.ForwardBackward(batch.Images, batch.Labels, 1-cfg.Alpha)
 
-		trigImages := batch.Images.Clone()
+		copy(trigImages.Data(), batch.Images.Data())
 		trigger.Apply(trigImages)
-		trigOut := model.Forward(trigImages, true)
-		_, trigGrad := nn.CrossEntropy(trigOut, targets, cfg.Alpha)
-		model.Backward(trigGrad)
+		trainer.ForwardBackward(trigImages, targets, cfg.Alpha)
 
 		// Masked SGD on the selected row entries only.
 		w := fc.Weight.W.Data()

@@ -72,6 +72,15 @@ type Config struct {
 	// transformations mutate model floats directly, bypassing the
 	// quantizer's codes the int8 engine executes.
 	Float32Eval bool
+	// TrainShards fixes the data-parallel trainer's shard count for the
+	// gradient passes (0 selects nn.DefaultTrainShards). The shard count
+	// — not the worker count — determines the floating-point summation
+	// geometry, so results are a function of this value alone.
+	TrainShards int
+	// TrainWorkers bounds how many shards run concurrently (0 uses the
+	// kernel parallelism bound). Scheduling only: any worker count
+	// produces bit-identical results for a fixed TrainShards.
+	TrainWorkers int
 }
 
 // DefaultConfig returns the paper's settings for a CIFAR-scale model.
@@ -230,20 +239,28 @@ func RunOffline(model *nn.Model, attackSet *data.Dataset, cfg Config) (*Result, 
 
 	result := &Result{Quantizer: q, OrigCodes: orig, Trigger: trigger}
 
+	// The gradient hot path runs on the data-parallel trainer: the
+	// batch is sharded across model replicas, gradients tree-reduce
+	// into the master in fixed order, and the trainer resyncs replica
+	// weights each step (the masked sign-SGD update and Bit Reduction
+	// mutate them between steps).
+	trainer := nn.NewTrainer(model, cfg.TrainShards)
+	if cfg.TrainWorkers > 0 {
+		trainer.SetWorkers(cfg.TrainWorkers)
+	}
+	// Persistent triggered-image buffer, re-stamped per iteration.
+	trigImages := batch.Images.Clone()
+
 	for t := 0; t < cfg.Iterations; t++ {
 		model.ZeroGrad()
 
 		// Clean-data term: (1−α)·ℓ(f(x, θ+Δθ), y).
-		cleanOut := model.Forward(batch.Images, true)
-		cleanLoss, cleanGrad := nn.CrossEntropy(cleanOut, batch.Labels, 1-cfg.Alpha)
-		model.Backward(cleanGrad)
+		cleanLoss, _ := trainer.ForwardBackward(batch.Images, batch.Labels, 1-cfg.Alpha)
 
 		// Triggered term: α·ℓ(f(x+Δx, θ+Δθ), ỹ).
-		trigImages := batch.Images.Clone()
+		copy(trigImages.Data(), batch.Images.Data())
 		trigger.Apply(trigImages)
-		trigOut := model.Forward(trigImages, true)
-		trigLoss, trigGrad := nn.CrossEntropy(trigOut, targetLabels, cfg.Alpha)
-		inGrad := model.Backward(trigGrad)
+		trigLoss, inGrad := trainer.ForwardBackward(trigImages, targetLabels, cfg.Alpha)
 
 		result.LossHistory = append(result.LossHistory, cleanLoss+trigLoss)
 

@@ -16,6 +16,10 @@ import (
 // feasible N_flip).
 type BinConv2D struct {
 	inner *nn.Conv2D
+
+	// savedBuf is the grow-only stash for the latent float weights while
+	// the inner convolution runs with the binarized ones.
+	savedBuf []float32
 }
 
 var _ nn.Layer = (*BinConv2D)(nil)
@@ -29,7 +33,11 @@ func NewBinConv2D(name string, rng *tensor.RNG, inC, outC, k, stride, pad int) *
 // saved latent weights.
 func (b *BinConv2D) binarize() []float32 {
 	w := b.inner.Weight.W
-	saved := append([]float32(nil), w.Data()...)
+	if cap(b.savedBuf) < w.Len() {
+		b.savedBuf = make([]float32, w.Len())
+	}
+	saved := b.savedBuf[:w.Len()]
+	copy(saved, w.Data())
 	outC := w.Dim(0)
 	perFilter := w.Len() / outC
 	d := w.Data()
@@ -82,6 +90,12 @@ func (b *BinConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // Params implements nn.Layer.
 func (b *BinConv2D) Params() []*nn.Param { return b.inner.Params() }
+
+// CloneLayer implements nn.Cloner: the latent float weights are copied,
+// the binarization stash is rebuilt lazily.
+func (b *BinConv2D) CloneLayer() nn.Layer {
+	return &BinConv2D{inner: nn.CloneLayerOf(b.inner).(*nn.Conv2D)}
+}
 
 // binBasicBlock is a basic residual block with binarized convolutions.
 func binBasicBlock(name string, rng *tensor.RNG, in, out, stride int) nn.Layer {

@@ -1,0 +1,49 @@
+package models
+
+import (
+	"testing"
+
+	"rowhammer/internal/tensor"
+)
+
+// TestCloneAllArchitectures builds every registered architecture —
+// including the binarized variant, whose BinConv2D lives in this
+// package — clones it structurally, and checks the clone produces a
+// bitwise-identical eval forward while sharing no weight storage.
+func TestCloneAllArchitectures(t *testing.T) {
+	for _, arch := range Names() {
+		arch := arch
+		t.Run(arch, func(t *testing.T) {
+			m, err := Build(Config{Arch: arch, Classes: 10, WidthMult: 0.25, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := m.Clone()
+
+			mp, cp := m.Params(), c.Params()
+			if len(mp) != len(cp) {
+				t.Fatalf("param count %d != %d", len(mp), len(cp))
+			}
+			for i := range mp {
+				if mp[i].Name != cp[i].Name {
+					t.Fatalf("param %d name %q != %q", i, mp[i].Name, cp[i].Name)
+				}
+				if &mp[i].W.Data()[0] == &cp[i].W.Data()[0] {
+					t.Fatalf("param %q shares weight storage with the clone", mp[i].Name)
+				}
+			}
+
+			rng := tensor.NewRNG(7)
+			x := tensor.New(2, m.InputShape[0], m.InputShape[1], m.InputShape[2])
+			rng.FillNormal(x, 0, 1)
+			ym := m.Forward(x, false)
+			yc := c.Forward(x, false)
+			md, cd := ym.Data(), yc.Data()
+			for i := range md {
+				if md[i] != cd[i] {
+					t.Fatalf("output %d differs: %v != %v", i, md[i], cd[i])
+				}
+			}
+		})
+	}
+}

@@ -4,7 +4,8 @@ import "rowhammer/internal/tensor"
 
 // ReLU is the rectified-linear activation.
 type ReLU struct {
-	mask []bool
+	mask   []bool
+	outBuf *tensor.Tensor
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -14,7 +15,13 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	var out *tensor.Tensor
+	if train {
+		r.outBuf = tensor.Ensure(r.outBuf, x.Shape()...)
+		out = r.outBuf
+	} else {
+		out = tensor.New(x.Shape()...)
+	}
 	xd, od := x.Data(), out.Data()
 	if cap(r.mask) < len(xd) {
 		r.mask = make([]bool, len(xd))
@@ -25,22 +32,26 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			od[i] = v
 			r.mask[i] = true
 		} else {
+			od[i] = 0
 			r.mask[i] = false
 		}
 	}
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The mask is applied to the incoming
+// gradient in place — every producer upstream hands this layer a
+// buffer it owns and overwrites on its next backward, so the fused
+// zero-allocation form is safe (Tap snapshots its gradient precisely
+// because of this).
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
-	gd, od := grad.Data(), out.Data()
+	gd := grad.Data()
 	for i, m := range r.mask {
-		if m {
-			od[i] = gd[i]
+		if !m {
+			gd[i] = 0
 		}
 	}
-	return out
+	return grad
 }
 
 // Params implements Layer.

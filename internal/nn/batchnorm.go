@@ -36,6 +36,11 @@ type BatchNorm2D struct {
 	lastN      int
 	lastHW     int
 	lastFrozen bool
+
+	// Grow-only steady-state buffers (training-mode output and the
+	// input gradient).
+	outBuf    *tensor.Tensor
+	gradInBuf *tensor.Tensor
 }
 
 var _ Layer = (*BatchNorm2D)(nil)
@@ -64,7 +69,13 @@ func NewBatchNorm2D(name string, channels int) *BatchNorm2D {
 func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	hw := h * w
-	out := tensor.New(n, c, h, w)
+	var out *tensor.Tensor
+	if train {
+		b.outBuf = tensor.Ensure(b.outBuf, n, c, h, w)
+		out = b.outBuf
+	} else {
+		out = tensor.New(n, c, h, w)
+	}
 	xd, od := x.Data(), out.Data()
 	gd, bd := b.Gamma.W.Data(), b.Beta.W.Data()
 
@@ -121,9 +132,16 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b.lastFrozen = false
 	b.lastInput = x
 	b.lastN, b.lastHW = n, hw
-	b.lastXHat = make([]float32, len(xd))
-	b.lastMean = make([]float32, c)
-	b.lastIStd = make([]float32, c)
+	if cap(b.lastXHat) < len(xd) {
+		b.lastXHat = make([]float32, len(xd))
+	}
+	b.lastXHat = b.lastXHat[:len(xd)]
+	if b.lastMean == nil {
+		b.lastMean = make([]float32, c)
+	}
+	if b.lastIStd == nil {
+		b.lastIStd = make([]float32, c)
+	}
 	count := float32(n * hw)
 
 	batchParallel(c, func(lo, hi int) {
@@ -170,7 +188,8 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		return b.backwardFrozen(grad)
 	}
 	n, c, hw := b.lastN, b.channels, b.lastHW
-	gradIn := tensor.New(grad.Shape()...)
+	b.gradInBuf = tensor.Ensure(b.gradInBuf, grad.Shape()...)
+	gradIn := b.gradInBuf
 	gd := grad.Data()
 	gid := gradIn.Data()
 	gamma := b.Gamma.W.Data()
@@ -183,10 +202,12 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			var sumG, sumGX float64
 			for i := 0; i < n; i++ {
 				base := (i*c + ch) * hw
-				for j := 0; j < hw; j++ {
-					g := float64(gd[base+j])
+				gRow := gd[base : base+hw]
+				xRow := b.lastXHat[base : base+hw]
+				for j, gf := range gRow {
+					g := float64(gf)
 					sumG += g
-					sumGX += g * float64(b.lastXHat[base+j])
+					sumGX += g * float64(xRow[j])
 				}
 			}
 			gBeta[ch] += float32(sumG)
@@ -197,9 +218,11 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			meanGX := float32(sumGX) / count
 			for i := 0; i < n; i++ {
 				base := (i*c + ch) * hw
-				for j := 0; j < hw; j++ {
-					xh := b.lastXHat[base+j]
-					gid[base+j] = coef * (gd[base+j] - meanG - xh*meanGX)
+				gRow := gd[base : base+hw]
+				xRow := b.lastXHat[base : base+hw]
+				oRow := gid[base : base+hw]
+				for j, g := range gRow {
+					oRow[j] = coef * (g - meanG - xRow[j]*meanGX)
 				}
 			}
 		}
@@ -212,7 +235,8 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // batch-coupling terms.
 func (b *BatchNorm2D) backwardFrozen(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, hw := b.lastN, b.channels, b.lastHW
-	gradIn := tensor.New(grad.Shape()...)
+	b.gradInBuf = tensor.Ensure(b.gradInBuf, grad.Shape()...)
+	gradIn := b.gradInBuf
 	gd, gid := grad.Data(), gradIn.Data()
 	gamma := b.Gamma.W.Data()
 	gGamma := b.Gamma.G.Data()
@@ -223,11 +247,13 @@ func (b *BatchNorm2D) backwardFrozen(grad *tensor.Tensor) *tensor.Tensor {
 			var sumG, sumGX float64
 			for i := 0; i < n; i++ {
 				base := (i*c + ch) * hw
-				for j := 0; j < hw; j++ {
-					g := gd[base+j]
+				gRow := gd[base : base+hw]
+				xRow := b.lastXHat[base : base+hw]
+				oRow := gid[base : base+hw]
+				for j, g := range gRow {
 					sumG += float64(g)
-					sumGX += float64(g) * float64(b.lastXHat[base+j])
-					gid[base+j] = coef * g
+					sumGX += float64(g) * float64(xRow[j])
+					oRow[j] = coef * g
 				}
 			}
 			gBeta[ch] += float32(sumG)

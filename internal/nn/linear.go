@@ -10,6 +10,11 @@ type Linear struct {
 
 	in, out   int
 	lastInput *tensor.Tensor
+
+	// Grow-only steady-state buffers (training-mode output and the
+	// input gradient), so the hot loop stops allocating per step.
+	outBuf    *tensor.Tensor
+	gradInBuf *tensor.Tensor
 }
 
 var _ Layer = (*Linear)(nil)
@@ -30,7 +35,13 @@ func NewLinear(name string, rng *tensor.RNG, in, out int) *Linear {
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.lastInput = x
 	n := x.Dim(0)
-	y := tensor.New(n, l.out)
+	var y *tensor.Tensor
+	if train {
+		l.outBuf = tensor.Ensure(l.outBuf, n, l.out)
+		y = l.outBuf
+	} else {
+		y = tensor.New(n, l.out)
+	}
 	// y = x · Wᵀ
 	tensor.MatMulABTInto(y, x, l.Weight.W)
 	bd := l.Bias.W.Data()
@@ -56,18 +67,27 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	l.Weight.G.AddScaled(tmp, 1)
 	tensor.PutTensor(tmp)
 
-	// db += column sums of grad.
+	// db += column sums of grad. The per-call sum is built in scratch
+	// and added to G once, so the accumulator's value never feeds into
+	// the batch summation order (keeps the direct path bit-identical to
+	// the trainer's reduce-then-add).
 	gb := l.Bias.G.Data()
 	gd := grad.Data()
+	colSum := tensor.GetF32Zeroed(l.out)
 	for i := 0; i < n; i++ {
 		row := gd[i*l.out : (i+1)*l.out]
 		for j := range row {
-			gb[j] += row[j]
+			colSum[j] += row[j]
 		}
 	}
+	for j := range colSum {
+		gb[j] += colSum[j]
+	}
+	tensor.PutF32(colSum)
 
 	// dx = grad · W  (N×In)
-	gradIn := tensor.New(n, l.in)
+	l.gradInBuf = tensor.Ensure(l.gradInBuf, n, l.in)
+	gradIn := l.gradInBuf
 	tensor.MatMulInto(gradIn, grad, l.Weight.W)
 	return gradIn
 }

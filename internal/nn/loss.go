@@ -39,30 +39,62 @@ func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 // against integer labels, and the gradient dLoss/dLogits, optionally
 // scaled by weight (used for the α-blended attack objective of Eq. 3).
 func CrossEntropy(logits *tensor.Tensor, labels []int, weight float32) (loss float32, grad *tensor.Tensor) {
+	n := logits.Dim(0)
+	grad = tensor.New(logits.Shape()...)
+	total := CrossEntropyInto(grad, logits, labels, weight, n)
+	return weight * float32(total) / float32(n), grad
+}
+
+// CrossEntropyInto is the allocation-free core of CrossEntropy: it
+// writes dLoss/dLogits into grad (same shape as logits) scaled by
+// weight/denom, and returns the raw float64 sum of per-row negative log
+// likelihoods (unweighted, undivided). Passing denom == N reproduces
+// CrossEntropy bit for bit. The data-parallel trainer feeds per-shard
+// logits with denom set to the FULL batch size: because softmax rows
+// are independent, the per-row gradients are then bit-identical to the
+// full-batch computation regardless of how the batch is sharded.
+func CrossEntropyInto(grad, logits *tensor.Tensor, labels []int, weight float32, denom int) float64 {
 	n, k := logits.Dim(0), logits.Dim(1)
 	if len(labels) != n {
 		panic("nn: label count does not match batch size")
 	}
-	probs := Softmax(logits)
-	grad = tensor.New(n, k)
-	pd, gd := probs.Data(), grad.Data()
+	if grad.Len() != logits.Len() {
+		panic("nn: gradient buffer size does not match logits")
+	}
+	ld, gd := logits.Data(), grad.Data()
 	var total float64
-	invN := weight / float32(n)
+	invN := weight / float32(denom)
 	for i := 0; i < n; i++ {
+		row := ld[i*k : (i+1)*k]
+		dst := gd[i*k : (i+1)*k]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - m))
+			dst[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range dst {
+			dst[j] *= inv
+		}
 		y := labels[i]
-		p := pd[i*k+y]
+		p := dst[y]
 		if p < 1e-12 {
 			p = 1e-12
 		}
 		total += -math.Log(float64(p))
-		row := pd[i*k : (i+1)*k]
-		dst := gd[i*k : (i+1)*k]
-		for j := range row {
-			dst[j] = row[j] * invN
+		for j := range dst {
+			dst[j] *= invN
 		}
 		dst[y] -= invN
 	}
-	return weight * float32(total) / float32(n), grad
+	return total
 }
 
 // Accuracy returns the fraction of rows in logits whose argmax equals

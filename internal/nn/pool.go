@@ -9,6 +9,9 @@ type MaxPool2D struct {
 
 	lastShape []int
 	argmax    []int
+
+	outBuf    *tensor.Tensor
+	gradInBuf *tensor.Tensor
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -25,7 +28,13 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	oh := (h-m.k)/m.stride + 1
 	ow := (w-m.k)/m.stride + 1
 	m.lastShape = append(m.lastShape[:0], n, c, h, w)
-	out := tensor.New(n, c, oh, ow)
+	var out *tensor.Tensor
+	if train {
+		m.outBuf = tensor.Ensure(m.outBuf, n, c, oh, ow)
+		out = m.outBuf
+	} else {
+		out = tensor.New(n, c, oh, ow)
+	}
 	if cap(m.argmax) < out.Len() {
 		m.argmax = make([]int, out.Len())
 	}
@@ -63,7 +72,9 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer: the gradient routes to the argmax input.
 func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.New(m.lastShape...)
+	m.gradInBuf = tensor.Ensure(m.gradInBuf, m.lastShape...)
+	gradIn := m.gradInBuf
+	gradIn.Zero() // the scatter below accumulates
 	gd, gid := grad.Data(), gradIn.Data()
 	for i, src := range m.argmax {
 		gid[src] += gd[i]
@@ -78,6 +89,9 @@ func (m *MaxPool2D) Params() []*Param { return nil }
 // producing (N, C) from (N, C, H, W) — the ResNet head pooling.
 type GlobalAvgPool struct {
 	lastShape []int
+
+	outBuf    *tensor.Tensor
+	gradInBuf *tensor.Tensor
 }
 
 var _ Layer = (*GlobalAvgPool)(nil)
@@ -89,7 +103,13 @@ func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
 func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	g.lastShape = append(g.lastShape[:0], n, c, h, w)
-	out := tensor.New(n, c)
+	var out *tensor.Tensor
+	if train {
+		g.outBuf = tensor.Ensure(g.outBuf, n, c)
+		out = g.outBuf
+	} else {
+		out = tensor.New(n, c)
+	}
 	hw := h * w
 	xd, od := x.Data(), out.Data()
 	inv := 1 / float32(hw)
@@ -108,7 +128,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
 	hw := h * w
-	gradIn := tensor.New(n, c, h, w)
+	g.gradInBuf = tensor.Ensure(g.gradInBuf, n, c, h, w)
+	gradIn := g.gradInBuf
 	gd, gid := grad.Data(), gradIn.Data()
 	inv := 1 / float32(hw)
 	for nc := 0; nc < n*c; nc++ {

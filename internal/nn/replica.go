@@ -1,0 +1,56 @@
+package nn
+
+import "rowhammer/internal/tensor"
+
+// replica is one shard worker of the data-parallel trainer: a
+// structural clone of the master model plus the per-shard scratch the
+// trainer reuses across steps.
+type replica struct {
+	model  *Model
+	params []*Param
+	bns    []*BatchNorm2D
+
+	// grad is the per-shard dLoss/dLogits buffer (grow-only).
+	grad *tensor.Tensor
+	// lossSum is the shard's raw float64 negative-log-likelihood sum
+	// from the last step, combined by the trainer in fixed shard order.
+	lossSum float64
+}
+
+// newReplica structurally clones the master.
+func newReplica(master *Model) *replica {
+	m := master.Clone()
+	return &replica{
+		model:  m,
+		params: m.Params(),
+		bns:    collectBatchNorms(m.Root),
+	}
+}
+
+// collectBatchNorms gathers the batch-norm layers in Walk order, which
+// is deterministic and identical for structurally equal graphs.
+func collectBatchNorms(root Layer) []*BatchNorm2D {
+	var bns []*BatchNorm2D
+	Walk(root, func(l Layer) {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			bns = append(bns, bn)
+		}
+	})
+	return bns
+}
+
+// syncFrom makes the replica an exact functional copy of the master:
+// parameter values, batch-norm running statistics, and the Frozen
+// flags. Gradient accumulators are not touched (the trainer zeroes
+// them at the start of each step).
+func (r *replica) syncFrom(masterParams []*Param, masterBNs []*BatchNorm2D) {
+	for i, p := range masterParams {
+		copy(r.params[i].W.Data(), p.W.Data())
+	}
+	for i, mbn := range masterBNs {
+		rbn := r.bns[i]
+		rbn.Frozen = mbn.Frozen
+		copy(rbn.RunningMean, mbn.RunningMean)
+		copy(rbn.RunningVar, mbn.RunningVar)
+	}
+}

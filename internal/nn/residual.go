@@ -9,7 +9,8 @@ type Residual struct {
 	Main     Layer
 	Shortcut Layer // nil for identity
 
-	relu *ReLU
+	relu   *ReLU
+	sumBuf *tensor.Tensor
 }
 
 var _ Layer = (*Residual)(nil)
@@ -27,7 +28,13 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if r.Shortcut != nil {
 		short = r.Shortcut.Forward(x, train)
 	}
-	sum := tensor.New(main.Shape()...)
+	var sum *tensor.Tensor
+	if train {
+		r.sumBuf = tensor.Ensure(r.sumBuf, main.Shape()...)
+		sum = r.sumBuf
+	} else {
+		sum = tensor.New(main.Shape()...)
+	}
 	tensor.AddInto(sum, main, short)
 	return r.relu.Forward(sum, train)
 }

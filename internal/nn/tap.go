@@ -9,6 +9,7 @@ import "rowhammer/internal/tensor"
 type Tap struct {
 	lastForward  *tensor.Tensor
 	lastBackward *tensor.Tensor
+	gradBuf      *tensor.Tensor
 }
 
 var _ Layer = (*Tap)(nil)
@@ -22,9 +23,14 @@ func (t *Tap) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return x
 }
 
-// Backward implements Layer (identity; records the gradient).
+// Backward implements Layer (identity). The gradient is recorded as a
+// snapshot copy: layers upstream of the tap are free to mutate the
+// buffer in place (ReLU's fused backward does), and Grad-CAM reads
+// Gradient() only after the whole backward pass has run.
 func (t *Tap) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	t.lastBackward = grad
+	t.gradBuf = tensor.Ensure(t.gradBuf, grad.Shape()...)
+	copy(t.gradBuf.Data(), grad.Data())
+	t.lastBackward = t.gradBuf
 	return grad
 }
 

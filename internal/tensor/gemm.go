@@ -52,11 +52,39 @@ var (
 	gemmKernel = gemmKernel2x4
 )
 
+// gemmDotABT, when non-nil, handles the no-pack A·Bᵀ shape: both
+// operands have contiguous k-rows (csA == 1, rsB == 1), so every C
+// element is a dot product of two contiguous vectors and the packing
+// passes are pure overhead. Profiling the training step on narrow
+// models shows packB costing ~4× the FMA kernel when m is tiny (the
+// per-layer weight-gradient GEMMs have m == outC as low as 4), which
+// is exactly the shape this path removes. The gate below is a pure
+// function of the operand shape — never of worker count — so results
+// stay bit-identical across parallelism settings.
+var gemmDotABT func(m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32)
+
+// gemmAxpyB, when non-nil, handles the complementary no-pack shape:
+// op(B) has contiguous n-rows (csB == 1) and either m or k is small,
+// so C is built row by row as k broadcast-FMA passes over B's rows —
+// again with no packing. This covers the forward conv GEMMs (m == outC
+// is small) and the input-gradient GEMMs (k == outC is small). Same
+// determinism argument as gemmDotABT: the gate and the per-element
+// summation order depend only on the shape.
+var gemmAxpyB func(m, n, k int, a []float32, rsA, csA int, b []float32, ldb int, c []float32)
+
 // gemm computes C = op(A)·op(B) into c (m×n, row-major, fully
 // overwritten). op(A) is m×k with element (i,p) at a[i*rsA+p*csA];
 // op(B) is k×n with element (p,j) at b[p*rsB+j*csB].
 func gemm(m, n, k int, a []float32, rsA, csA int, b []float32, rsB, csB int, c []float32) {
 	c = c[:m*n]
+	if gemmDotABT != nil && csA == 1 && rsB == 1 && m <= 8 && m*n <= 1024 && k >= 64 {
+		gemmDotABT(m, n, k, a, rsA, b, csB, c)
+		return
+	}
+	if gemmAxpyB != nil && csB == 1 && n >= 64 && (m <= 16 || k <= 16) {
+		gemmAxpyB(m, n, k, a, rsA, csA, b, rsB, c)
+		return
+	}
 	for i := range c {
 		c[i] = 0
 	}
@@ -64,6 +92,14 @@ func gemm(m, n, k int, a []float32, rsA, csA int, b []float32, rsB, csB int, c [
 		gemmSerial(m, n, k, a, rsA, csA, b, rsB, csB, c)
 		return
 	}
+	gemmParallel(m, n, k, a, rsA, csA, b, rsB, csB, c)
+}
+
+// gemmParallel is the multi-worker path. It lives in its own function
+// so the worker closure's captures only force heap escapes here — with
+// the branch inline in gemm, every serial call paid an allocation for
+// the captured parameters at function entry.
+func gemmParallel(m, n, k int, a []float32, rsA, csA int, b []float32, rsB, csB int, c []float32) {
 	mr, nr, mc := gemmMR, gemmNR, gemmMC
 	for pc := 0; pc < k; pc += gemmKC {
 		kc := min(gemmKC, k-pc)

@@ -1,0 +1,130 @@
+// AVX2/FMA dot-product kernel for the no-pack small-m GEMM path
+// (gemm.go / gemm_amd64.go). Computes four dot products of one A row
+// against four B rows in a single pass, two FMA chains per output so
+// the loop is load-port bound rather than latency bound.
+
+#include "textflag.h"
+
+// func dotKernel1x4Asm(k16 int, a, b0, b1, b2, b3, dst *float32)
+//
+//	dst[j] = Σ_{p<k16} a[p]·bj[p]   j < 4, k16 a multiple of 16
+TEXT ·dotKernel1x4Asm(SB), NOSPLIT, $0-56
+	MOVQ k16+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ b2+32(FP), R10
+	MOVQ b3+40(FP), R11
+	MOVQ dst+48(FP), DI
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	SHRQ $4, CX             // iterations of 16 floats
+	JZ   reduce
+
+loop:
+	VMOVUPS (SI), Y8
+	VMOVUPS 32(SI), Y9
+
+	VMOVUPS     (R8), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VMOVUPS     32(R8), Y11
+	VFMADD231PS Y9, Y11, Y4
+
+	VMOVUPS     (R9), Y12
+	VFMADD231PS Y8, Y12, Y1
+	VMOVUPS     32(R9), Y13
+	VFMADD231PS Y9, Y13, Y5
+
+	VMOVUPS     (R10), Y10
+	VFMADD231PS Y8, Y10, Y2
+	VMOVUPS     32(R10), Y11
+	VFMADD231PS Y9, Y11, Y6
+
+	VMOVUPS     (R11), Y12
+	VFMADD231PS Y8, Y12, Y3
+	VMOVUPS     32(R11), Y13
+	VFMADD231PS Y9, Y13, Y7
+
+	ADDQ $64, SI
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	DECQ CX
+	JNZ  loop
+
+reduce:
+	VADDPS Y4, Y0, Y0
+	VADDPS Y5, Y1, Y1
+	VADDPS Y6, Y2, Y2
+	VADDPS Y7, Y3, Y3
+
+	VEXTRACTF128 $1, Y0, X8
+	VADDPS       X8, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VMOVSS       X0, (DI)
+
+	VEXTRACTF128 $1, Y1, X8
+	VADDPS       X8, X1, X1
+	VHADDPS      X1, X1, X1
+	VHADDPS      X1, X1, X1
+	VMOVSS       X1, 4(DI)
+
+	VEXTRACTF128 $1, Y2, X8
+	VADDPS       X8, X2, X2
+	VHADDPS      X2, X2, X2
+	VHADDPS      X2, X2, X2
+	VMOVSS       X2, 8(DI)
+
+	VEXTRACTF128 $1, Y3, X8
+	VADDPS       X8, X3, X3
+	VHADDPS      X3, X3, X3
+	VHADDPS      X3, X3, X3
+	VMOVSS       X3, 12(DI)
+
+	VZEROUPPER
+	RET
+
+// func saxpyKernelAsm(n32 int, alpha float32, x, y *float32)
+//
+//	y[j] += alpha·x[j]   j < n32, n32 a multiple of 32
+TEXT ·saxpyKernelAsm(SB), NOSPLIT, $0-32
+	MOVQ         n32+0(FP), CX
+	VBROADCASTSS alpha+8(FP), Y0
+	MOVQ         x+16(FP), SI
+	MOVQ         y+24(FP), DI
+
+	SHRQ $5, CX // iterations of 32 floats
+	JZ   sdone
+
+sloop:
+	VMOVUPS     (SI), Y1
+	VMOVUPS     32(SI), Y2
+	VMOVUPS     64(SI), Y3
+	VMOVUPS     96(SI), Y4
+	VFMADD213PS (DI), Y0, Y1
+	VFMADD213PS 32(DI), Y0, Y2
+	VFMADD213PS 64(DI), Y0, Y3
+	VFMADD213PS 96(DI), Y0, Y4
+	VMOVUPS     Y1, (DI)
+	VMOVUPS     Y2, 32(DI)
+	VMOVUPS     Y3, 64(DI)
+	VMOVUPS     Y4, 96(DI)
+
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ CX
+	JNZ  sloop
+
+sdone:
+	VZEROUPPER
+	RET

@@ -7,7 +7,10 @@ package tensor
 func Im2Col(img []float32, c, h, w, kh, kw, stride, pad int, dst []float32) (oh, ow int) {
 	oh = (h+2*pad-kh)/stride + 1
 	ow = (w+2*pad-kw)/stride + 1
-	cols := oh * ow
+	if stride == 1 {
+		im2colS1(img, c, h, w, kh, kw, pad, dst, oh, ow)
+		return oh, ow
+	}
 	idx := 0
 	for ch := 0; ch < c; ch++ {
 		base := ch * h * w
@@ -36,8 +39,53 @@ func Im2Col(img []float32, c, h, w, kh, kw, stride, pad int, dst []float32) (oh,
 			}
 		}
 	}
-	_ = cols
 	return oh, ow
+}
+
+// im2colS1 is the stride-1 fast path: for a fixed (ky,kx) tap the valid
+// source pixels of an output row form one contiguous span, so the body
+// is a memmove plus explicit zeroing of the clipped edges instead of a
+// per-element bounds check.
+func im2colS1(img []float32, c, h, w, kh, kw, pad int, dst []float32, oh, ow int) {
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				shift := kx - pad
+				zlo := -shift // ox below this reads ix < 0
+				if zlo < 0 {
+					zlo = 0
+				}
+				zhi := w - shift // ox at or past this reads ix ≥ w
+				if zhi > ow {
+					zhi = ow
+				}
+				if zhi < zlo {
+					zhi = zlo
+				}
+				for oy := 0; oy < oh; oy++ {
+					iy := oy + ky - pad
+					row := dst[idx : idx+ow]
+					idx += ow
+					if iy < 0 || iy >= h {
+						for i := range row {
+							row[i] = 0
+						}
+						continue
+					}
+					rowBase := base + iy*w
+					for i := 0; i < zlo; i++ {
+						row[i] = 0
+					}
+					copy(row[zlo:zhi], img[rowBase+zlo+shift:rowBase+zhi+shift])
+					for i := zhi; i < ow; i++ {
+						row[i] = 0
+					}
+				}
+			}
+		}
+	}
 }
 
 // Col2Im scatters a column-matrix gradient (C*KH*KW) × (OH*OW) back into
@@ -46,6 +94,10 @@ func Im2Col(img []float32, c, h, w, kh, kw, stride, pad int, dst []float32) (oh,
 func Col2Im(col []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
 	oh := (h+2*pad-kh)/stride + 1
 	ow := (w+2*pad-kw)/stride + 1
+	if stride == 1 {
+		col2imS1(col, c, h, w, kh, kw, pad, dst, oh, ow)
+		return
+	}
 	idx := 0
 	for ch := 0; ch < c; ch++ {
 		base := ch * h * w
@@ -65,6 +117,48 @@ func Col2Im(col []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
 						}
 						idx++
 					}
+				}
+			}
+		}
+	}
+}
+
+// col2imS1 is the stride-1 fast path: the valid taps of an output row
+// accumulate into one contiguous destination span, so the scatter
+// becomes a straight-line span add. The (ky,kx,oy,ox) accumulation
+// order matches the general path exactly, so the result is
+// bit-identical.
+func col2imS1(col []float32, c, h, w, kh, kw, pad int, dst []float32, oh, ow int) {
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				shift := kx - pad
+				zlo := -shift
+				if zlo < 0 {
+					zlo = 0
+				}
+				zhi := w - shift
+				if zhi > ow {
+					zhi = ow
+				}
+				if zhi < zlo {
+					zhi = zlo
+				}
+				for oy := 0; oy < oh; oy++ {
+					iy := oy + ky - pad
+					if iy < 0 || iy >= h {
+						idx += ow
+						continue
+					}
+					rowBase := base + iy*w
+					d := dst[rowBase+zlo+shift : rowBase+zhi+shift]
+					s := col[idx+zlo : idx+zhi]
+					for i := range d {
+						d[i] += s[i]
+					}
+					idx += ow
 				}
 			}
 		}

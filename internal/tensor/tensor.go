@@ -106,6 +106,43 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{data: t.data, shape: append([]int(nil), shape...)}
 }
 
+// Rebind repoints the tensor at data, keeping its shape. The length
+// must match the shape's element count. It exists so hot loops can
+// walk a tensor header across consecutive storage slices (one image of
+// a batch at a time) without allocating a header per step.
+func (t *Tensor) Rebind(data []float32) {
+	if len(data) != len(t.data) {
+		panic(fmt.Sprintf("tensor: Rebind length %d does not match shape %v", len(data), t.shape))
+	}
+	t.data = data
+}
+
+// Ensure returns a tensor of the given shape, reusing t's storage and
+// header when possible: same total size just restamps the shape, a
+// smaller request reslices, and only growth allocates. The contents are
+// unspecified after a size change. It is the grow-only buffer idiom the
+// layer forward/backward caches use — pass the previous buffer (nil on
+// first use) and store the result.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	if t == nil || cap(t.data) < n {
+		return New(shape...)
+	}
+	t.data = t.data[:n]
+	if len(t.shape) == len(shape) {
+		copy(t.shape, shape)
+	} else {
+		t.shape = append(t.shape[:0], shape...)
+	}
+	return t
+}
+
 // Zero sets every element to zero.
 func (t *Tensor) Zero() {
 	for i := range t.data {
