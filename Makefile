@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test-short test-race bench-kernels bench-eval bench-train vet
+.PHONY: build test-short test-race bench-kernels bench-eval bench-train bench-online vet
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,11 @@ test-short:
 
 ## test-race: race detector over the packages with the concurrent kernels
 ## (worker pool, buffer pool, batch-parallel conv/batchnorm, int8 engine,
-## parallel metric evaluation, and the data-parallel trainer incl. the
-## RunOffline short-mode determinism test in internal/core).
+## parallel metric evaluation, the data-parallel trainer incl. the
+## RunOffline short-mode determinism test in internal/core, and the
+## parallel templating engine: profile, sidechan, memsys).
 test-race:
-	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/core
+	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/core ./internal/profile ./internal/sidechan ./internal/memsys
 
 ## bench-kernels: blocked-GEMM and conv hot-path benchmarks with
 ## allocation counts. Naive twins run alongside for the speedup ratio.
@@ -37,6 +38,16 @@ bench-eval:
 ## `-cpuprofile cpu.out` to the benchjson invocation for a profile.
 bench-train:
 	$(GO) run ./cmd/benchjson -bench 'TrainStep|OfflineAttack' -pkg ./internal/core -o BENCH_train.json
+
+## bench-online: online templating-engine benchmarks — the full
+## ExecuteOnline buffer-size sweep (32768 → 262144 pages at 1/2/4
+## workers) plus the profiling, placement and side-channel micro
+## benchmarks — merged with the committed pre-optimization baseline
+## (BENCH_online_baseline.json, *PrePR entries) into BENCH_online.json.
+bench-online:
+	$(GO) run ./cmd/benchjson -bench 'ExecuteOnline|ProfileBuffer|PlanPlacement|SpoilerSweep|ClusterByBank' \
+		-pkg ./internal/core,./internal/profile,./internal/sidechan -benchtime 1x \
+		-merge BENCH_online_baseline.json -o BENCH_online.json
 
 ## vet: static checks plus a cross-compile of the portable (non-AVX2)
 ## code paths — the asm files are amd64-gated, so arm64 must build pure Go.

@@ -91,6 +91,7 @@ func main() {
 	pkg := flag.String("pkg", "./...", "comma-separated package patterns for -bench mode")
 	benchtime := flag.String("benchtime", "", "passed through to go test (e.g. 1x, 3s)")
 	cpuprofile := flag.String("cpuprofile", "", "passed through to go test; requires a single -pkg package")
+	merge := flag.String("merge", "", "existing benchjson report whose entries are prepended to the output (e.g. a committed pre-optimization baseline)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -153,6 +154,19 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
 		os.Exit(1)
+	}
+	if *merge != "" {
+		prev, err := os.ReadFile(*merge)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -merge:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(prev, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -merge:", err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(base.Benchmarks, rep.Benchmarks...)
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

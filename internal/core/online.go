@@ -105,10 +105,8 @@ func ExecuteOnline(sys *memsys.System, weightFile []byte, reqs []profile.PageReq
 
 	// Drain stale frame-cache entries so the victim's faults pop
 	// exactly the frames the massaging releases.
-	for sys.FrameCacheDepth() > 0 {
-		if _, err := attacker.Mmap(1); err != nil {
-			return nil, fmt.Errorf("core: draining frame cache: %w", err)
-		}
+	if _, _, err := attacker.DrainFrameCache(); err != nil {
+		return nil, fmt.Errorf("core: draining frame cache: %w", err)
 	}
 
 	// Listing 1: release the chosen frames in reverse file order.

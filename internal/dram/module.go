@@ -3,8 +3,8 @@ package dram
 import (
 	"fmt"
 	"math"
-
-	"rowhammer/internal/tensor"
+	"sort"
+	"sync"
 )
 
 // FlipDirection is the only direction a vulnerable cell can flip in.
@@ -56,8 +56,15 @@ type Module struct {
 	mem     []byte
 
 	// weakCache memoizes per-row weak-cell lists, generated lazily and
-	// deterministically from (seed, bank, row).
+	// deterministically from (seed, bank, row). weakMu guards the map so
+	// hammer experiments on disjoint row ranges (the parallel templating
+	// engine) can run concurrently; the cached slices themselves are
+	// immutable once published.
+	weakMu    sync.Mutex
 	weakCache map[int64][]WeakCell
+	// seenBits is weakMu-guarded scratch for duplicate-bit rejection
+	// while sampling a row; dirty bits are cleared before returning.
+	seenBits []uint64
 }
 
 // NewModule builds a module with the given geometry and device profile.
@@ -103,6 +110,12 @@ func (m *Module) ReadRange(addr, n int) []byte {
 	return out
 }
 
+// ReadRangeInto copies len(buf) bytes starting at addr into buf — the
+// allocation-free twin of ReadRange for steady-state readback loops.
+func (m *Module) ReadRangeInto(addr int, buf []byte) {
+	copy(buf, m.mem[addr:addr+len(buf)])
+}
+
 // WriteRange stores buf starting at addr.
 func (m *Module) WriteRange(addr int, buf []byte) {
 	copy(m.mem[addr:addr+len(buf)], buf)
@@ -119,29 +132,33 @@ func (m *Module) FillRow(bank, row int, v byte) {
 
 // weakCells returns the vulnerable cells of a row, generated lazily.
 // The per-row RNG stream is keyed by (seed, bank, row) so the layout is
-// stable regardless of query order.
+// stable regardless of query order. Safe for concurrent callers.
 func (m *Module) weakCells(bank, row int) []WeakCell {
 	key := int64(bank)<<32 | int64(row)
+	m.weakMu.Lock()
+	defer m.weakMu.Unlock()
 	if cells, ok := m.weakCache[key]; ok {
 		return cells
 	}
 	const mix = int64(-0x61C8864680B583EB) // golden-ratio mixing constant
-	rng := tensor.NewRNG(m.seed ^ (key*mix + 0x2545F4914F6CDD1D))
+	rng := newCellRNG(uint64(m.seed ^ (key*mix + 0x2545F4914F6CDD1D)))
 	// A row holds two OS pages, so the expected weak count per row is
 	// 2× the per-page average. Sample the count from a Poisson
 	// distribution via inversion.
 	lambda := m.profile.FlipsPerPage * 2
-	count := poisson(rng, lambda)
+	count := poisson(&rng, lambda)
 	cells := make([]WeakCell, 0, count)
-	seen := make(map[int]bool, count)
+	if m.seenBits == nil {
+		m.seenBits = make([]uint64, RowBytes*8/64)
+	}
 	for len(cells) < count {
-		bit := rng.Intn(RowBytes * 8)
-		if seen[bit] {
+		bit := rng.intn(RowBytes * 8)
+		if m.seenBits[bit/64]&(1<<(bit%64)) != 0 {
 			continue
 		}
-		seen[bit] = true
+		m.seenBits[bit/64] |= 1 << (bit % 64)
 		dir := ZeroToOne
-		if rng.Float64() < 0.5 {
+		if rng.float64() < 0.5 {
 			dir = OneToZero
 		}
 		// Thresholds live in (0.55, 1]: a full double-sided hammer
@@ -152,16 +169,49 @@ func (m *Module) weakCells(bank, row int) []WeakCell {
 		cells = append(cells, WeakCell{
 			BitInRow:  bit,
 			Dir:       dir,
-			Threshold: 0.55 + 0.45*rng.Float64(),
+			Threshold: 0.55 + 0.45*rng.float64(),
 		})
+	}
+	for _, c := range cells {
+		m.seenBits[c.BitInRow/64] &^= 1 << (c.BitInRow % 64)
 	}
 	m.weakCache[key] = cells
 	return cells
 }
 
+// cellRNG is a splitmix64 stream for weak-cell generation. Keying one
+// costs a single add, versus the ~6 µs lagged-Fibonacci seeding of
+// math/rand — which, at one fresh generator per row, used to dominate
+// whole-buffer profiling wall-clock.
+type cellRNG uint64
+
+// newCellRNG scrambles the row key through the splitmix finalizer
+// before using it as a stream start. Without this, key streams that
+// differ by a multiple of the additive constant are shifted windows of
+// one another — adjacent rows would sample near-identical cell
+// positions, collapsing flip diversity across the buffer.
+func newCellRNG(key uint64) cellRNG {
+	key = (key ^ key>>30) * 0xBF58476D1CE4E5B9
+	key = (key ^ key>>27) * 0x94D049BB133111EB
+	return cellRNG(key ^ key>>31)
+}
+
+func (r *cellRNG) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (r *cellRNG) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn is exact (bias-free) for the power-of-two bounds used here.
+func (r *cellRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
 // poisson samples a Poisson variate by inversion (adequate for the
 // λ ≤ ~250 this simulator uses).
-func poisson(rng *tensor.RNG, lambda float64) int {
+func poisson(rng *cellRNG, lambda float64) int {
 	if lambda <= 0 {
 		return 0
 	}
@@ -169,7 +219,7 @@ func poisson(rng *tensor.RNG, lambda float64) int {
 	k := 0
 	p := 1.0
 	for {
-		p *= rng.Float64()
+		p *= rng.float64()
 		if p <= l {
 			return k
 		}
@@ -212,30 +262,58 @@ func (m *Module) trrEscapeFraction(aggressors int) float64 {
 // matches the cell's flip direction are flipped in memory; the returned
 // events list every flip applied.
 func (m *Module) Hammer(bank int, aggressorRows []int, intensity float64) []FlipEvent {
-	if intensity <= 0 {
-		return nil
+	var events []FlipEvent
+	m.hammer(bank, aggressorRows, intensity, &events)
+	return events
+}
+
+// HammerQuiet is Hammer without the event log. The templating engine's
+// hot loop learns flips by reading the victim pages back, so collecting
+// events per hammer would only be allocation churn; this variant runs
+// allocation-free for patterns up to 32 aggressors. Concurrent calls on
+// non-overlapping row ranges are safe: flips are read-modify-writes on
+// disjoint victim rows.
+func (m *Module) HammerQuiet(bank int, aggressorRows []int, intensity float64) {
+	m.hammer(bank, aggressorRows, intensity, nil)
+}
+
+// hammer is the shared hammer core. Victim discovery uses small sorted
+// stack scratch instead of maps: candidate victims (aggressor neighbors)
+// are collected, sorted, and merged so a row sandwiched by two
+// aggressors accumulates 0.5 disturbance from each.
+func (m *Module) hammer(bank int, aggressorRows []int, intensity float64, events *[]FlipEvent) {
+	if intensity <= 0 || len(aggressorRows) == 0 {
+		return
 	}
 	if intensity > 1 {
 		intensity = 1
 	}
-	isAggr := make(map[int]bool, len(aggressorRows))
-	for _, r := range aggressorRows {
-		isAggr[r] = true
+	var candBuf [64]int
+	cands := candBuf[:0]
+	if 2*len(aggressorRows) > len(candBuf) {
+		cands = make([]int, 0, 2*len(aggressorRows))
 	}
-	// Disturbance per victim: 0.5 per adjacent aggressor, so the
-	// classic double-sided sandwich reaches 1.0.
-	disturb := make(map[int]float64)
 	for _, r := range aggressorRows {
-		for _, v := range []int{r - 1, r + 1} {
-			if v < 0 || v >= m.geom.RowsPerBank || isAggr[v] {
+		for _, v := range [2]int{r - 1, r + 1} {
+			if v < 0 || v >= m.geom.RowsPerBank || containsRow(aggressorRows, v) {
 				continue
 			}
-			disturb[v] += 0.5
+			cands = append(cands, v)
 		}
 	}
+	sort.Ints(cands)
 	escape := m.trrEscapeFraction(len(aggressorRows))
-	var events []FlipEvent
-	for victim, d := range disturb {
+	for i := 0; i < len(cands); {
+		victim := cands[i]
+		j := i
+		// Disturbance per victim: 0.5 per adjacent aggressor, so the
+		// classic double-sided sandwich reaches 1.0.
+		d := 0.0
+		for j < len(cands) && cands[j] == victim {
+			d += 0.5
+			j++
+		}
+		i = j
 		eff := d * intensity * escape
 		if eff <= 0 {
 			continue
@@ -253,17 +331,30 @@ func (m *Module) Hammer(bank int, aggressorRows []int, intensity float64) []Flip
 			case ZeroToOne:
 				if cur == 0 {
 					m.mem[addr] |= 1 << bit
-					events = append(events, FlipEvent{Addr: addr, Bit: bit, Dir: ZeroToOne})
+					if events != nil {
+						*events = append(*events, FlipEvent{Addr: addr, Bit: bit, Dir: ZeroToOne})
+					}
 				}
 			case OneToZero:
 				if cur != 0 {
 					m.mem[addr] &^= 1 << bit
-					events = append(events, FlipEvent{Addr: addr, Bit: bit, Dir: OneToZero})
+					if events != nil {
+						*events = append(*events, FlipEvent{Addr: addr, Bit: bit, Dir: OneToZero})
+					}
 				}
 			}
 		}
 	}
-	return events
+}
+
+// containsRow reports whether rows (a short aggressor list) contains r.
+func containsRow(rows []int, r int) bool {
+	for _, x := range rows {
+		if x == r {
+			return true
+		}
+	}
+	return false
 }
 
 // HammerDoubleSided sandwiches the victim row between two aggressors —

@@ -1,0 +1,76 @@
+package memsys
+
+import (
+	"testing"
+
+	"rowhammer/internal/dram"
+)
+
+// TestDrainFrameCache verifies the bulk drain is equivalent to the
+// Mmap(1) loop it replaces: every cached frame is remapped in FILO pop
+// order, zeroed, and the cache ends empty.
+func TestDrainFrameCache(t *testing.T) {
+	mod, err := dram.NewModuleForSize(4<<20, dram.PaperDDR3(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(mod)
+	p := sys.NewProcess()
+
+	const pages = 8
+	base, err := p.Mmap(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([]int, pages)
+	for i := range frames {
+		f, err := p.FrameOf(base + i*PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Write(base+i*PageSize, []byte{0xAA}) // dirty so drain must re-zero
+		frames[i] = f
+	}
+	// Unmap in ascending page order: the FILO cache ends as
+	// [frames[0] … frames[pages-1]], popped back-to-front.
+	for i := 0; i < pages; i++ {
+		if err := p.MunmapPage(base + i*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sys.FrameCacheDepth(); got != pages {
+		t.Fatalf("frame cache depth = %d, want %d", got, pages)
+	}
+
+	dbase, n, err := p.DrainFrameCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != pages {
+		t.Fatalf("drained %d pages, want %d", n, pages)
+	}
+	if got := sys.FrameCacheDepth(); got != 0 {
+		t.Fatalf("frame cache depth after drain = %d, want 0", got)
+	}
+	for i := 0; i < pages; i++ {
+		f, err := p.FrameOf(dbase + i*PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := frames[pages-1-i]; f != want {
+			t.Errorf("drained page %d got frame %d, want %d (FILO order)", i, f, want)
+		}
+		b, err := p.Read(dbase+i*PageSize, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != 0 {
+			t.Errorf("drained page %d not zeroed: %#x", i, b[0])
+		}
+	}
+
+	// Empty cache: a second drain is a no-op.
+	if _, n, err := p.DrainFrameCache(); err != nil || n != 0 {
+		t.Fatalf("drain of empty cache = (%d, %v), want (0, nil)", n, err)
+	}
+}

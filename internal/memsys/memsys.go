@@ -28,8 +28,12 @@ type System struct {
 	nframes int
 
 	// free is the buddy-allocator stand-in: frames not in any mapping
-	// and not in the frame cache, allocated lowest-first.
-	free []bool
+	// and not in the frame cache, allocated lowest-first. Frames only
+	// leave the free list (released frames go to the frame cache), so
+	// the lowest free index is monotone and nextFree lets allocFrame
+	// resume its scan instead of rescanning from zero.
+	free     []bool
+	nextFree int
 	// frameCache is the per-CPU page-frame cache: a FILO stack of
 	// recently unmapped frames, consulted before the free list.
 	frameCache []int
@@ -77,9 +81,10 @@ func (s *System) allocFrame() (int, error) {
 		s.frameCache = s.frameCache[:n-1]
 		return f, nil
 	}
-	for f := 0; f < s.nframes; f++ {
+	for f := s.nextFree; f < s.nframes; f++ {
 		if s.free[f] {
 			s.free[f] = false
+			s.nextFree = f + 1
 			return f, nil
 		}
 	}
@@ -202,9 +207,40 @@ func (p *Process) Mmap(npages int) (int, error) {
 	return base * PageSize, nil
 }
 
+// zeroPage is the shared all-zero source page for anonymous mappings;
+// read-only, so safe to share across every zeroFrame call.
+var zeroPage [PageSize]byte
+
 func (p *Process) zeroFrame(f int) {
-	buf := make([]byte, PageSize)
-	p.sys.module.WriteRange(f*PageSize, buf)
+	p.sys.module.WriteRange(f*PageSize, zeroPage[:])
+}
+
+// DrainFrameCache maps every frame currently sitting in the per-CPU
+// frame cache into this process as fresh anonymous zeroed pages, in
+// FILO pop order, and returns the base virtual address of the drained
+// mapping and how many pages were mapped. It is the bulk equivalent of
+// calling Mmap(1) until FrameCacheDepth reaches zero — the
+// page-frame-cache flush step before the Listing 1 massaging — without
+// the per-call bookkeeping.
+func (p *Process) DrainFrameCache() (int, int, error) {
+	n := len(p.sys.frameCache)
+	if n == 0 {
+		return 0, 0, nil
+	}
+	base := p.nextVPage
+	for i := 0; i < n; i++ {
+		f, err := p.sys.allocFrame()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				p.MunmapPage((base + j) * PageSize)
+			}
+			return 0, 0, err
+		}
+		p.zeroFrame(f)
+		p.pages[base+i] = mappingEntry{frame: f}
+	}
+	p.nextVPage += n
+	return base * PageSize, n, nil
 }
 
 // MmapFile maps the whole file. Pages already in the page cache are
@@ -218,6 +254,7 @@ func (p *Process) MmapFile(name string) (int, error) {
 	}
 	npages := (len(cf.data) + PageSize - 1) / PageSize
 	base := p.nextVPage
+	var page [PageSize]byte // stack scratch reused for every uncached page
 	for i := 0; i < npages; i++ {
 		f, cached := cf.frames[i]
 		if !cached {
@@ -226,14 +263,14 @@ func (p *Process) MmapFile(name string) (int, error) {
 			if err != nil {
 				return 0, err
 			}
-			page := make([]byte, PageSize)
 			lo := i * PageSize
 			hi := lo + PageSize
 			if hi > len(cf.data) {
 				hi = len(cf.data)
 			}
-			copy(page, cf.data[lo:hi])
-			p.sys.module.WriteRange(f*PageSize, page)
+			n := copy(page[:], cf.data[lo:hi])
+			clear(page[n:]) // zero-fill tail of a partial final page
+			p.sys.module.WriteRange(f*PageSize, page[:])
 			cf.frames[i] = f
 		}
 		p.pages[base+i] = mappingEntry{frame: f, file: name, filePage: i}
@@ -291,6 +328,21 @@ func (p *Process) Read(vaddr, n int) ([]byte, error) {
 		return nil, fmt.Errorf("memsys: read crosses page boundary")
 	}
 	return p.sys.module.ReadRange(phys, n), nil
+}
+
+// ReadInto copies len(buf) bytes at vaddr into buf (the range must lie
+// within one page). It is the allocation-free twin of Read for the
+// templating readback loop.
+func (p *Process) ReadInto(vaddr int, buf []byte) error {
+	phys, err := p.Translate(vaddr)
+	if err != nil {
+		return err
+	}
+	if vaddr%PageSize+len(buf) > PageSize {
+		return fmt.Errorf("memsys: read crosses page boundary")
+	}
+	p.sys.module.ReadRangeInto(phys, buf)
+	return nil
 }
 
 // Write stores buf at vaddr (must lie within one page). Writes through a

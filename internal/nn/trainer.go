@@ -1,6 +1,10 @@
 package nn
 
-import "rowhammer/internal/tensor"
+import (
+	"runtime"
+
+	"rowhammer/internal/tensor"
+)
 
 // DefaultTrainShards is the fixed shard count of a Trainer when the
 // caller does not choose one. The shard count — not the worker count —
@@ -66,10 +70,16 @@ func NewTrainer(master *Model, shards int) *Trainer {
 func (t *Trainer) Shards() int { return t.shards }
 
 // SetWorkers bounds how many shards run concurrently. It affects
-// scheduling only — never results. Values below 1 clamp to 1.
+// scheduling only — never results (shard geometry is fixed by the shard
+// count). Values below 1 clamp to 1; values above GOMAXPROCS clamp to
+// GOMAXPROCS, since oversubscribing schedulable CPUs only adds
+// scheduling overhead.
 func (t *Trainer) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
+	}
+	if g := runtime.GOMAXPROCS(0); n > g {
+		n = g
 	}
 	t.workers = n
 }

@@ -1,0 +1,69 @@
+package profile
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/tensor"
+)
+
+// profileAtWorkers runs ProfileBuffer on a fresh system (hammering
+// mutates memory, so every run must start from identical state) with
+// the worker cap set to n.
+func profileAtWorkers(t *testing.T, workers, bufPages int, cfg Config) *Profile {
+	t.Helper()
+	prev := tensor.SetMaxWorkers(workers)
+	defer tensor.SetMaxWorkers(prev)
+	mod, err := dram.NewModuleForSize(bufPages*memsys.PageSize+(8<<20), dram.PaperDDR3(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := memsys.NewSystem(mod)
+	attacker := sys.NewProcess()
+	base, err := attacker.Mmap(bufPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ProfileBuffer(sys, attacker, base, bufPages, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestProfileBufferWorkerDeterminism is the engine's core contract:
+// the profile — row order, aggressor addresses, every flip in every
+// template — is byte-for-byte identical at 1, 2 and 4 workers. Raising
+// GOMAXPROCS makes the multi-worker runs genuinely concurrent even on
+// a single-CPU machine (MaxWorkers clamps to GOMAXPROCS).
+func TestProfileBufferWorkerDeterminism(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"doubleSided", Config{Sides: 2, Intensity: 1, MeasureSeed: 5, SkipSpoilerCheck: true}},
+		{"nSided7", Config{Sides: 7, Intensity: 1, MeasureSeed: 5, SkipSpoilerCheck: true}},
+	}
+	const bufPages = 2048
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := profileAtWorkers(t, 1, bufPages, tc.cfg)
+			if len(ref.Rows) == 0 || ref.TotalFlips() == 0 {
+				t.Fatalf("reference profile is empty (%d rows, %d flips)", len(ref.Rows), ref.TotalFlips())
+			}
+			for _, w := range []int{2, 4} {
+				got := profileAtWorkers(t, w, bufPages, tc.cfg)
+				if !reflect.DeepEqual(ref, got) {
+					t.Fatalf("profile at %d workers differs from 1-worker reference (rows %d vs %d, flips %d vs %d)",
+						w, len(got.Rows), len(ref.Rows), got.TotalFlips(), ref.TotalFlips())
+				}
+			}
+		})
+	}
+}

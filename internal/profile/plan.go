@@ -80,8 +80,9 @@ func PlanPlacement(p *Profile, reqs []PageRequirement, filePages int) (*Placemen
 		return len(sorted[i].Flips) > len(sorted[j].Flips)
 	})
 
-	usedPages := make(map[int]bool)     // assigned (or to be assigned) to file pages
-	reservedPages := make(map[int]bool) // must stay attacker-mapped (aggressors)
+	p.buildFlipIndex()
+	usedPages := make([]bool, p.BufPages)     // assigned (or to be assigned) to file pages
+	reservedPages := make([]bool, p.BufPages) // must stay attacker-mapped (aggressors)
 	usedRows := make(map[int]bool)
 	fileToBuffer := make(map[int]int, filePages)
 	var plan Placement
@@ -163,39 +164,79 @@ func PlanPlacement(p *Profile, reqs []PageRequirement, filePages int) (*Placemen
 	return &plan, nil
 }
 
+// buildFlipIndex builds (once per profile) the inverted flip inventory:
+// every (offset, bit, dir) cell maps to the packed (row, half)
+// candidates — rows ascending, halves ascending — whose template
+// contains it. Matching a requirement then walks only the candidate
+// list of its rarest needle instead of scanning every profiled row.
+func (p *Profile) buildFlipIndex() {
+	if p.flipIndex != nil {
+		return
+	}
+	idx := make(map[CellFlip][]int32)
+	for ri := range p.Rows {
+		for h := 0; h < 2; h++ {
+			for _, f := range p.Rows[ri].Pages[h].Flips {
+				idx[f] = append(idx[f], int32(ri*2+h))
+			}
+		}
+	}
+	p.flipIndex = idx
+}
+
+// rowAggConflict reports whether any aggressor page of row ri was
+// already promised to a file page (allocation-free twin of scanning
+// aggressorBufferPages).
+func rowAggConflict(p *Profile, ri int, usedPages []bool) bool {
+	for _, va := range p.Rows[ri].AggressorVaddrs {
+		base := (va - p.BufBase) / memsys.PageSize
+		if usedPages[base] || usedPages[base+1] {
+			return true
+		}
+	}
+	return false
+}
+
 // findMatch locates an unused (row, half) whose profiled flips are a
 // superset of the requirement, skipping rows that would conflict with
 // pages already promised elsewhere. Among candidates it prefers the one
-// with the fewest extra flips in the row.
-func findMatch(p *Profile, req PageRequirement, usedPages, reservedPages map[int]bool) (row, half int, ok bool) {
+// with the fewest extra flips in the row; ties keep the lowest
+// (row, half), exactly as the exhaustive row scan did — the candidate
+// list is ordered by construction, so iterating it with a strict
+// improvement test preserves that selection.
+func findMatch(p *Profile, req PageRequirement, usedPages, reservedPages []bool) (row, half int, ok bool) {
+	// Every candidate page must contain all needles, so walking the
+	// rarest needle's list covers every possible match.
+	var cands []int32
+	for i, f := range req.Flips {
+		l, present := p.flipIndex[f]
+		if !present {
+			return 0, 0, false
+		}
+		if i == 0 || len(l) < len(cands) {
+			cands = l
+		}
+	}
 	bestRow, bestHalf, bestExtra := -1, -1, 1<<30
-	for ri := range p.Rows {
+	for _, c := range cands {
+		ri, h := int(c)/2, int(c)%2
 		pages := rowBufferPages(p, ri)
 		if reservedPages[pages[0]] || reservedPages[pages[1]] {
 			continue // this row is an aggressor for an earlier target
 		}
-		conflict := false
-		for _, ap := range aggressorBufferPages(p, ri) {
-			if usedPages[ap] {
-				conflict = true // its aggressors were already given away
-				break
-			}
+		if rowAggConflict(p, ri, usedPages) {
+			continue // its aggressors were already given away
 		}
-		if conflict {
+		pg := &p.Rows[ri].Pages[h]
+		if usedPages[pg.BufferPage] {
 			continue
 		}
-		for h := 0; h < 2; h++ {
-			pg := &p.Rows[ri].Pages[h]
-			if usedPages[pg.BufferPage] {
-				continue
-			}
-			if !containsAll(pg.Flips, req.Flips) {
-				continue
-			}
-			extra := p.Rows[ri].FlipCount() - len(req.Flips)
-			if extra < bestExtra {
-				bestRow, bestHalf, bestExtra = ri, h, extra
-			}
+		if !containsAll(pg.Flips, req.Flips) {
+			continue
+		}
+		extra := p.Rows[ri].FlipCount() - len(req.Flips)
+		if extra < bestExtra {
+			bestRow, bestHalf, bestExtra = ri, h, extra
 		}
 	}
 	if bestRow < 0 {

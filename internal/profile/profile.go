@@ -1,12 +1,15 @@
 package profile
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"rowhammer/internal/dram"
 	"rowhammer/internal/memsys"
 	"rowhammer/internal/sidechan"
+	"rowhammer/internal/tensor"
 )
 
 // CellFlip is one reproducible bit flip within a 4 KB page.
@@ -59,6 +62,10 @@ type Profile struct {
 	aggressorPages map[int]bool
 	// victimPages maps buffer page → (row index, half).
 	victimPages map[int][2]int
+	// flipIndex is the inverted flip inventory built lazily by
+	// PlanPlacement: cell flip → packed (row*2+half) candidates in
+	// ascending order.
+	flipIndex map[CellFlip][]int32
 }
 
 // Config controls profiling.
@@ -126,157 +133,282 @@ func ProfileBuffer(sys *memsys.System, attacker *memsys.Process, bufBase, bufPag
 		aggressorPages: make(map[int]bool),
 		victimPages:    make(map[int][2]int),
 	}
+
+	// Build the experiment list in the engine's canonical order: clusters
+	// in discovery order, victims ascending within each cluster. Each
+	// experiment is assigned a phase color such that experiments sharing
+	// a phase have disjoint row footprints (see experiment); phases run
+	// one after another, each fanned out over the worker pool.
+	phases := 5
+	if cfg.Sides > 2 {
+		phases = 2
+	}
+	var exps []experiment
+	phaseLists := make([][]int, phases)
 	for _, cluster := range clusters {
 		sort.Ints(cluster) // ascending virtual = ascending row within bank
-		if err := p.profileCluster(sys, attacker, cluster, cfg); err != nil {
-			return nil, err
+		if len(cluster) < 3 {
+			continue
+		}
+		if cfg.Sides == 2 {
+			// Double-sided: every interior row is a victim once.
+			for k := 1; k < len(cluster)-1; k++ {
+				ph := (k - 1) % phases
+				phaseLists[ph] = append(phaseLists[ph], len(exps))
+				exps = append(exps, experiment{cluster: cluster, k: k})
+			}
+		} else {
+			// n-sided: alternating aggressor/victim rows, windows of
+			// cfg.Sides aggressors stepped so each odd position is a
+			// victim exactly once.
+			window := 2*cfg.Sides - 1
+			w := 0
+			for start := 0; start+window <= len(cluster); start += window - 1 {
+				ph := w % phases
+				w++
+				phaseLists[ph] = append(phaseLists[ph], len(exps))
+				exps = append(exps, experiment{cluster: cluster, k: start})
+			}
+		}
+	}
+
+	workers := tensor.MaxWorkers()
+	for _, list := range phaseLists {
+		list := list
+		tensor.ParallelChunks(len(list), workers, func(lo, hi int) {
+			for x := lo; x < hi; x++ {
+				e := &exps[list[x]]
+				e.rows, e.err = runExperiment(sys, attacker, bufBase, e.cluster, e.k, cfg)
+			}
+		})
+	}
+
+	// Surface the first failure in canonical experiment order so the
+	// returned error does not depend on scheduling.
+	for i := range exps {
+		if exps[i].err != nil {
+			return nil, exps[i].err
+		}
+	}
+
+	// Assemble the profile in canonical order — the same Rows ordering
+	// the sequential engine produced.
+	for i := range exps {
+		rows := exps[i].rows
+		for _, r := range rows {
+			idx := len(p.Rows)
+			p.Rows = append(p.Rows, r)
+			for half := 0; half < 2; half++ {
+				p.victimPages[r.Pages[half].BufferPage] = [2]int{idx, half}
+			}
+		}
+		if len(rows) > 0 {
+			for _, ac := range rows[0].AggressorVaddrs {
+				base := (ac - bufBase) / memsys.PageSize
+				p.aggressorPages[base] = true
+				p.aggressorPages[base+1] = true
+			}
 		}
 	}
 	return p, nil
 }
 
-// profileCluster hammers every eligible victim row of one same-bank
-// chunk list (sorted by address = consecutive rows).
-func (p *Profile) profileCluster(sys *memsys.System, attacker *memsys.Process, cluster []int, cfg Config) error {
-	if len(cluster) < 3 {
-		return nil
-	}
-	if cfg.Sides == 2 {
-		// Double-sided: every interior row is a victim once.
-		for k := 1; k < len(cluster)-1; k++ {
-			aggrs := []int{cluster[k-1], cluster[k+1]}
-			if err := p.profileVictims(sys, attacker, []int{cluster[k]}, aggrs, cfg); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	// n-sided: alternating aggressor/victim rows, windows of cfg.Sides
-	// aggressors stepped so each odd position is a victim exactly once.
-	window := 2*cfg.Sides - 1
-	for start := 0; start+window <= len(cluster); start += window - 1 {
-		var aggrs, victims []int
-		for i := 0; i < window; i++ {
-			if i%2 == 0 {
-				aggrs = append(aggrs, cluster[start+i])
-			} else {
-				victims = append(victims, cluster[start+i])
-			}
-		}
-		if err := p.profileVictims(sys, attacker, victims, aggrs, cfg); err != nil {
-			return err
-		}
-	}
-	return nil
+// experiment is one hammer experiment: fill the victim rows and
+// aggressor rows, hammer, read the victims back — in both polarities.
+// Given exclusive access to its row footprint, an experiment is a pure
+// function of (cluster, k, cfg): the fills erase whatever earlier
+// experiments left in its rows, and the module's weak cells are a fixed
+// function of (bank, row). Experiments with disjoint footprints
+// therefore commute, so any schedule that never overlaps two
+// conflicting experiments in time yields bit-identical profiles — the
+// engine guarantees that with phase coloring.
+//
+// Footprints: a double-sided experiment at victim index k touches rows
+// [cluster[k-1]−1, cluster[k+1]+1] (fills plus hammer disturb-writes
+// into the aggressors' outer neighbors), and cluster rows are strictly
+// ascending, so experiments ≥ 5 victim indices apart are disjoint —
+// phase = (k−1) mod 5. An n-sided window (2·sides−1 ≥ 5 rows) conflicts
+// only with its immediate neighbor windows, so alternating windows
+// suffice — phase = window index mod 2.
+type experiment struct {
+	cluster []int // sorted same-bank chunk vaddrs (shared, read-only)
+	k       int   // double-sided: victim index; n-sided: window start
+	rows    []VictimRow
+	err     error
 }
 
-// profileVictims runs one hammer experiment: victims are tested in both
-// data polarities and their flips recorded.
-func (p *Profile) profileVictims(sys *memsys.System, attacker *memsys.Process, victimChunks, aggressorChunks []int, cfg Config) error {
-	fill := func(vaddr int, b byte) error {
-		page := make([]byte, memsys.PageSize)
-		for i := range page {
-			page[i] = b
+// fillPattern holds the two polarity source pages (0x00 and 0xFF),
+// shared read-only by every fill.
+var fillPattern [2][memsys.PageSize]byte
+
+func init() {
+	for i := range fillPattern[1] {
+		fillPattern[1][i] = 0xFF
+	}
+}
+
+// expScratch is the per-worker reusable scratch of the experiment loop:
+// one page of readback, the aggressor row translation buffer, the
+// victim/aggressor chunk lists, and the flip accumulator. Pooled so the
+// steady-state profiling loop allocates only its outputs.
+type expScratch struct {
+	buf     []byte
+	rowBuf  []int
+	victims []int
+	aggrs   []int
+	flips   []CellFlip
+	segs    [][2][2][2]int // [victim][half][polarity] = {start, end} into flips
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &expScratch{buf: make([]byte, memsys.PageSize)}
+}}
+
+// fillChunk writes the pattern page over both halves of an 8 KB chunk.
+func fillChunk(p *memsys.Process, vaddr int, pat *[memsys.PageSize]byte) error {
+	if err := p.Write(vaddr, pat[:]); err != nil {
+		return err
+	}
+	return p.Write(vaddr+memsys.PageSize, pat[:])
+}
+
+// runExperiment executes one hammer experiment and returns the profiled
+// victim rows. Only the returned rows and their flip slices are
+// allocated; everything else comes from pooled scratch.
+func runExperiment(sys *memsys.System, attacker *memsys.Process, bufBase int, cluster []int, k int, cfg Config) ([]VictimRow, error) {
+	sc := scratchPool.Get().(*expScratch)
+	defer scratchPool.Put(sc)
+	sc.victims = sc.victims[:0]
+	sc.aggrs = sc.aggrs[:0]
+	if cfg.Sides == 2 {
+		sc.victims = append(sc.victims, cluster[k])
+		sc.aggrs = append(sc.aggrs, cluster[k-1], cluster[k+1])
+	} else {
+		window := 2*cfg.Sides - 1
+		for i := 0; i < window; i++ {
+			if i%2 == 0 {
+				sc.aggrs = append(sc.aggrs, cluster[k+i])
+			} else {
+				sc.victims = append(sc.victims, cluster[k+i])
+			}
 		}
-		if err := attacker.Write(vaddr, page); err != nil {
-			return err
+	}
+	nv := len(sc.victims)
+	if cap(sc.segs) < nv {
+		sc.segs = make([][2][2][2]int, nv)
+	}
+	sc.segs = sc.segs[:nv]
+	sc.flips = sc.flips[:0]
+
+	for pi, polarity := range [2]byte{0x00, 0xFF} {
+		for _, vc := range sc.victims {
+			if err := fillChunk(attacker, vc, &fillPattern[pi]); err != nil {
+				return nil, fmt.Errorf("profile: fill victim: %w", err)
+			}
 		}
-		return attacker.Write(vaddr+memsys.PageSize, page)
+		for _, ac := range sc.aggrs {
+			if err := fillChunk(attacker, ac, &fillPattern[1-pi]); err != nil {
+				return nil, fmt.Errorf("profile: fill aggressor: %w", err)
+			}
+		}
+		if err := hammerRowsInto(sys, attacker, sc.aggrs, cfg.Intensity, &sc.rowBuf); err != nil {
+			return nil, err
+		}
+		dir := dram.ZeroToOne
+		polWord := uint64(0)
+		if polarity == 0xFF {
+			dir = dram.OneToZero
+			polWord = ^uint64(0)
+		}
+		// Scan victims for flipped bits, eight bytes at a stride: clean
+		// words (the overwhelming majority) cost one comparison.
+		for vi, vc := range sc.victims {
+			for half := 0; half < 2; half++ {
+				if err := attacker.ReadInto(vc+half*memsys.PageSize, sc.buf); err != nil {
+					return nil, err
+				}
+				start := len(sc.flips)
+				for off := 0; off < memsys.PageSize; off += 8 {
+					if binary.LittleEndian.Uint64(sc.buf[off:off+8]) == polWord {
+						continue
+					}
+					for j := off; j < off+8; j++ {
+						diff := sc.buf[j] ^ polarity
+						if diff == 0 {
+							continue
+						}
+						for bit := 0; bit < 8; bit++ {
+							if diff&(1<<bit) == 0 {
+								continue
+							}
+							sc.flips = append(sc.flips, CellFlip{Offset: j, Bit: bit, Dir: dir})
+						}
+					}
+				}
+				sc.segs[vi][half][pi] = [2]int{start, len(sc.flips)}
+			}
+		}
 	}
 
-	rows := make([]VictimRow, len(victimChunks))
-	for vi, vc := range victimChunks {
+	rows := make([]VictimRow, nv)
+	for vi, vc := range sc.victims {
 		rows[vi] = VictimRow{
-			AggressorVaddrs: append([]int(nil), aggressorChunks...),
+			AggressorVaddrs: append([]int(nil), sc.aggrs...),
 			Sides:           cfg.Sides,
 			Intensity:       cfg.Intensity,
 		}
 		for half := 0; half < 2; half++ {
-			rows[vi].Pages[half].BufferPage = (vc-p.BufBase)/memsys.PageSize + half
-		}
-	}
-
-	for _, polarity := range []byte{0x00, 0xFF} {
-		for _, vc := range victimChunks {
-			if err := fill(vc, polarity); err != nil {
-				return fmt.Errorf("profile: fill victim: %w", err)
+			rows[vi].Pages[half].BufferPage = (vc-bufBase)/memsys.PageSize + half
+			s0 := sc.segs[vi][half][0]
+			s1 := sc.segs[vi][half][1]
+			n := (s0[1] - s0[0]) + (s1[1] - s1[0])
+			if n == 0 {
+				continue
 			}
-		}
-		for _, ac := range aggressorChunks {
-			if err := fill(ac, ^polarity); err != nil {
-				return fmt.Errorf("profile: fill aggressor: %w", err)
-			}
-		}
-		if err := HammerRows(sys, attacker, aggressorChunks, cfg.Intensity); err != nil {
-			return err
-		}
-		// Scan victims for flipped bits.
-		for vi, vc := range victimChunks {
-			for half := 0; half < 2; half++ {
-				buf, err := attacker.Read(vc+half*memsys.PageSize, memsys.PageSize)
-				if err != nil {
-					return err
-				}
-				for off, b := range buf {
-					if b == polarity {
-						continue
-					}
-					diff := b ^ polarity
-					for bit := 0; bit < 8; bit++ {
-						if diff&(1<<bit) == 0 {
-							continue
-						}
-						dir := dram.ZeroToOne
-						if polarity == 0xFF {
-							dir = dram.OneToZero
-						}
-						rows[vi].Pages[half].Flips = append(rows[vi].Pages[half].Flips,
-							CellFlip{Offset: off, Bit: bit, Dir: dir})
-					}
-				}
-			}
+			fl := make([]CellFlip, 0, n)
+			fl = append(fl, sc.flips[s0[0]:s0[1]]...)
+			fl = append(fl, sc.flips[s1[0]:s1[1]]...)
+			rows[vi].Pages[half].Flips = fl
 		}
 	}
-
-	for _, r := range rows {
-		idx := len(p.Rows)
-		p.Rows = append(p.Rows, r)
-		for half := 0; half < 2; half++ {
-			p.victimPages[r.Pages[half].BufferPage] = [2]int{idx, half}
-		}
-	}
-	for _, ac := range aggressorChunks {
-		base := (ac - p.BufBase) / memsys.PageSize
-		p.aggressorPages[base] = true
-		p.aggressorPages[base+1] = true
-	}
-	return nil
+	return rows, nil
 }
 
-// HammerRows translates page-aligned aggressor addresses and hammers
-// the corresponding DRAM rows. All aggressors must share a bank.
-func HammerRows(sys *memsys.System, p *memsys.Process, aggressorVaddrs []int, intensity float64) error {
+// hammerRowsInto is the scratch-buffer core of HammerRows: rowBuf is
+// reused across calls so the hot loop performs no allocation.
+func hammerRowsInto(sys *memsys.System, p *memsys.Process, aggressorVaddrs []int, intensity float64, rowBuf *[]int) error {
 	if len(aggressorVaddrs) == 0 {
 		return fmt.Errorf("profile: no aggressor rows")
 	}
 	geom := sys.Module().Geometry()
 	bank := -1
-	rows := make([]int, 0, len(aggressorVaddrs))
+	rows := (*rowBuf)[:0]
 	for _, va := range aggressorVaddrs {
 		phys, err := p.Translate(va)
 		if err != nil {
+			*rowBuf = rows
 			return fmt.Errorf("profile: aggressor translate: %w", err)
 		}
 		loc := geom.LocOf(phys)
 		if bank == -1 {
 			bank = loc.Bank
 		} else if loc.Bank != bank {
+			*rowBuf = rows
 			return fmt.Errorf("profile: aggressors span banks %d and %d", bank, loc.Bank)
 		}
 		rows = append(rows, loc.Row)
 	}
-	sys.Module().Hammer(bank, rows, intensity)
+	*rowBuf = rows
+	sys.Module().HammerQuiet(bank, rows, intensity)
 	return nil
+}
+
+// HammerRows translates page-aligned aggressor addresses and hammers
+// the corresponding DRAM rows. All aggressors must share a bank.
+func HammerRows(sys *memsys.System, p *memsys.Process, aggressorVaddrs []int, intensity float64) error {
+	var rowArr [32]int
+	rows := rowArr[:0]
+	return hammerRowsInto(sys, p, aggressorVaddrs, intensity, &rows)
 }
 
 // TotalFlips counts every recorded flip.

@@ -1,0 +1,76 @@
+package sidechan
+
+import (
+	"fmt"
+	"testing"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/tensor"
+)
+
+func benchSys(b *testing.B, pages int) (*memsys.System, *memsys.Process, int) {
+	b.Helper()
+	mod, err := dram.NewModuleForSize(
+		pages*memsys.PageSize+(8<<20), dram.PaperDDR3(), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := memsys.NewSystem(mod)
+	p := sys.NewProcess()
+	base, err := p.Mmap(pages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, p, base
+}
+
+// BenchmarkSpoilerSweep measures the per-page SPOILER timing sweep over
+// a 128 MB buffer — the contiguity-verification step of templating.
+func BenchmarkSpoilerSweep(b *testing.B) {
+	const pages = 32768
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("pages%d/workers%d", pages, workers), func(b *testing.B) {
+			prev := tensor.SetMaxWorkers(workers)
+			defer tensor.SetMaxWorkers(prev)
+			sys, p, base := benchSys(b, pages)
+			m := NewMeasurer(sys, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.SpoilerSweep(p, base, pages); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterByBank measures row-buffer-conflict bank clustering of
+// every 8 KB row chunk of a 64 MB buffer (16384 pages → 8192 chunks).
+func BenchmarkClusterByBank(b *testing.B) {
+	const pages = 16384
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("chunks%d/workers%d", pages/2, workers), func(b *testing.B) {
+			prev := tensor.SetMaxWorkers(workers)
+			defer tensor.SetMaxWorkers(prev)
+			sys, p, base := benchSys(b, pages)
+			m := NewMeasurer(sys, 3)
+			chunks := make([]int, pages/2)
+			for i := range chunks {
+				chunks[i] = base + i*dram.RowBytes
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clusters, err := m.ClusterByBank(p, chunks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(clusters) != 16 {
+					b.Fatalf("got %d clusters", len(clusters))
+				}
+			}
+		})
+	}
+}

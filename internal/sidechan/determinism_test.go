@@ -1,0 +1,67 @@
+package sidechan
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/tensor"
+)
+
+// TestBatchMeasurementWorkerDeterminism pins the counter-based noise
+// contract: SpoilerSweep timings and ClusterByBank groupings are
+// bit-identical at 1, 2 and 4 workers, because every sample is a pure
+// function of (seed, stream, measurement index) rather than of issue
+// order. GOMAXPROCS is raised so the multi-worker runs are genuinely
+// concurrent even on a single-CPU machine.
+func TestBatchMeasurementWorkerDeterminism(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	const pages = 2048
+	mod, err := dram.NewModuleForSize(pages*memsys.PageSize+(8<<20), dram.PaperDDR3(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := memsys.NewSystem(mod)
+	p := sys.NewProcess()
+	base, err := p.Mmap(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := make([]int, pages/2)
+	for i := range chunks {
+		chunks[i] = base + i*dram.RowBytes
+	}
+	m := NewMeasurer(sys, 9)
+
+	run := func(workers int) ([]float64, [][]int) {
+		prev := tensor.SetMaxWorkers(workers)
+		defer tensor.SetMaxWorkers(prev)
+		sweep, err := m.SpoilerSweep(p, base, pages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters, err := m.ClusterByBank(p, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sweep, clusters
+	}
+
+	refSweep, refClusters := run(1)
+	if len(refClusters) != 16 {
+		t.Fatalf("got %d clusters, want 16 banks", len(refClusters))
+	}
+	for _, w := range []int{2, 4} {
+		sweep, clusters := run(w)
+		if !reflect.DeepEqual(refSweep, sweep) {
+			t.Fatalf("SpoilerSweep timings differ at %d workers", w)
+		}
+		if !reflect.DeepEqual(refClusters, clusters) {
+			t.Fatalf("ClusterByBank grouping differs at %d workers", w)
+		}
+	}
+}

@@ -7,7 +7,7 @@ import (
 
 // maxWorkers bounds the parallelism of the numeric kernels. It is a
 // variable (not a constant) so tests can force single-threaded execution.
-var maxWorkers = runtime.NumCPU()
+var maxWorkers = runtime.GOMAXPROCS(0)
 
 // SetMaxWorkers overrides the kernel parallelism. Values below one are
 // clamped to one. It returns the previous setting so callers can restore
@@ -21,10 +21,22 @@ func SetMaxWorkers(n int) int {
 	return prev
 }
 
-// MaxWorkers returns the current kernel parallelism bound, so callers
-// outside the package (the quantized engine, metric evaluation) can
-// size their own ParallelChunks fan-out consistently with the kernels.
-func MaxWorkers() int { return maxWorkers }
+// MaxWorkers returns the current kernel parallelism bound, clamped to
+// GOMAXPROCS: fanning work out to more workers than there are
+// schedulable CPUs buys nothing and costs queueing and context-switch
+// overhead (on a 1-vCPU box a 4-worker fan-out measurably regressed the
+// trainer). Callers outside the package (the quantized engine, metric
+// evaluation, the templating engine) use this to size their own
+// ParallelChunks fan-out consistently with the kernels. Result
+// determinism never depends on the clamp: deterministic reductions key
+// their geometry on chunk counts, and the templating engine's
+// experiments commute.
+func MaxWorkers() int {
+	if g := runtime.GOMAXPROCS(0); maxWorkers > g {
+		return g
+	}
+	return maxWorkers
+}
 
 // The numeric kernels share one process-wide pool of persistent worker
 // goroutines instead of spawning goroutines per call. The pool starts
