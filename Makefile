@@ -14,10 +14,11 @@ test-short:
 ## test-race: race detector over the packages with the concurrent kernels
 ## (worker pool, buffer pool, batch-parallel conv/batchnorm, int8 engine,
 ## parallel metric evaluation, the data-parallel trainer incl. the
-## RunOffline short-mode determinism test in internal/core, and the
-## parallel templating engine: profile, sidechan, memsys).
+## RunOffline short-mode determinism test in internal/core, the parallel
+## templating engine: profile, sidechan, memsys, and the fault-injection
+## pass counters in internal/dram).
 test-race:
-	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/core ./internal/profile ./internal/sidechan ./internal/memsys
+	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/core ./internal/profile ./internal/sidechan ./internal/memsys ./internal/dram
 
 ## bench-kernels: blocked-GEMM and conv hot-path benchmarks with
 ## allocation counts. Naive twins run alongside for the speedup ratio.

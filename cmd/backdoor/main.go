@@ -33,6 +33,12 @@ func run() error {
 	device := flag.String("device", "", "Table I DRAM device name (empty = paper's DDR3)")
 	sides := flag.Int("sides", 0, "hammer pattern width (0 = auto)")
 	seed := flag.Int64("seed", 1, "random seed")
+	rounds := flag.Int("rounds", 0, "verify/re-hammer round budget (0 = single shot)")
+	escalate := flag.Float64("escalate", 0, "per-round intensity escalation factor (0 = none)")
+	retemplate := flag.Int("retemplate", 0, "adaptive re-templating pass budget")
+	flipfail := flag.Float64("flipfail", 0, "per-pass weak-cell flip failure probability")
+	jitter := flag.Float64("jitter", 0, "TRR-escape disturbance jitter amplitude")
+	faultseed := flag.Int64("faultseed", 0, "fault-stream seed (0 = 1 when faults enabled)")
 	flag.Parse()
 
 	fmt.Printf("[1/4] training clean %s (width %.2f)…\n", *arch, *width)
@@ -58,9 +64,19 @@ func run() error {
 	fmt.Printf("[3/4] online phase: template → massage → hammer…\n")
 	on, err := rowhammer.HammerOnline(victim, off, rowhammer.HardwareConfig{
 		Device: *device, Sides: *sides, Seed: *seed,
+		Rounds: *rounds, Escalation: *escalate, RetemplatePasses: *retemplate,
+		FlipFailProb: *flipfail, TRRJitter: *jitter, FaultSeed: *faultseed,
 	})
 	if err != nil {
 		return err
+	}
+	for _, r := range on.Rounds {
+		fmt.Printf("      round %d: hammered %d rows, %d/%d flips verified fired\n",
+			r.Round, r.RowsHammered, r.NMatch, r.NMatch+r.Missing)
+	}
+	if on.Retemplated > 0 {
+		fmt.Printf("      %d re-templating pass(es), %d requirement(s) left unmatched\n",
+			on.Retemplated, on.Unmatched)
 	}
 	fmt.Printf("      %d/%d required flips landed, %d accidental, r_match %.2f%%\n",
 		on.Matched, on.Required, on.Accidental, on.RMatch)

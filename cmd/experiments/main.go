@@ -32,6 +32,7 @@ var order = []string{
 	"figure9", "figure10", "figure11", "figure12", "figure13",
 	"defense_bnn", "defense_pwc", "defense_deepdyve", "defense_encoding",
 	"defense_radar", "defense_reconstruction", "plundervolt",
+	"robustness",
 }
 
 func run() error {
@@ -86,6 +87,17 @@ func runOne(id string, scale experiments.Scale, archs []string) error {
 		}
 		for _, r := range rows {
 			fmt.Println(r.String())
+		}
+	case "robustness":
+		rows, err := experiments.Robustness(scale, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("flip-fail  budget  used  retempl  matched    r_match")
+		for _, r := range rows {
+			fmt.Printf("%9.2f  %6d  %4d  %7d  %4d/%-4d  %6.2f%%\n",
+				r.FlipFailProb, r.Rounds, r.RoundsUsed, r.Retemplates,
+				r.NMatch, r.NRequired, r.RMatch)
 		}
 	case "table3":
 		rows, err := experiments.Table3(scale, nil)

@@ -4,7 +4,10 @@
 // sequence — templating, frame-cache massaging, victim model load,
 // hammering — and demonstrates the two stealth properties: the on-disk
 // model stays pristine, and evicting the page cache (a "reboot")
-// removes every trace of the attack.
+// removes every trace of the attack. A second run then injects
+// per-pass flip failures (real modules do not fire every weak cell
+// every time) and shows the robust engine's verify → re-hammer rounds
+// recovering the flips a single shot loses.
 //
 //	go run ./examples/cloudattack
 package main
@@ -119,5 +122,36 @@ func run() error {
 	}
 	fmt.Printf("[audit]   after page-cache eviction the clean model returns: %v\n",
 		bytes.Equal(fresh, weightFile))
+
+	// ---- Robustness: the same attack on a lossy module. ----
+	// Real DRAM is not the deterministic simulator above: a weak cell
+	// fires on some hammer passes and not others. Inject a 50% per-pass
+	// flip failure and compare a single shot against the multi-round
+	// verify/re-hammer engine on a fresh host.
+	fmt.Println()
+	fmt.Println("[fault]   re-running on a lossy module (50% per-pass flip failure)…")
+	for _, robust := range []bool{false, true} {
+		module, err := dram.NewModuleForSize(192<<20, dram.PaperDDR3(), 42)
+		if err != nil {
+			return err
+		}
+		lossy := memsys.NewSystem(module)
+		lossy.InjectFaults(dram.FaultModel{FlipFailProb: 0.5, Seed: 9})
+		lossy.WriteFile("service/model.bin", weightFile)
+		cfg := ocfg
+		label := "single shot"
+		if robust {
+			cfg.Rounds = 5
+			cfg.Escalation = 2
+			cfg.RetemplatePasses = 2
+			label = "5-round retry"
+		}
+		res, err := core.ExecuteOnline(lossy, weightFile, reqs, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[fault]   %-11s → %d/%d flips fired over %d round(s), r_match %.2f%%\n",
+			label, res.NMatch, res.NRequired, res.Report.RoundsExecuted(), res.RMatch)
+	}
 	return nil
 }

@@ -291,6 +291,12 @@ func TestOnlineEndToEnd(t *testing.T) {
 	if onres.RMatch < 99 {
 		t.Fatalf("r_match = %.2f%%, want ≈100%%", onres.RMatch)
 	}
+	if onres.Unmatched != 0 {
+		t.Fatalf("%d requirements unmatched at the paper's buffer scale", onres.Unmatched)
+	}
+	if onres.Report == nil || onres.Report.RoundsExecuted() != 1 {
+		t.Fatalf("deterministic single-shot run should report exactly one round, got %+v", onres.Report)
+	}
 
 	// Load the corrupted file into a fresh victim model and verify the
 	// backdoor behaves online as it did offline.
@@ -316,6 +322,56 @@ func TestOnlineEndToEnd(t *testing.T) {
 		if disk[i] != cleanFile[i] {
 			t.Fatal("disk copy modified — attack is not stealthy")
 		}
+	}
+}
+
+// TestOnlineEndToEndRobustUnderFaults is the acceptance check from the
+// robustness work: on a module where every weak cell fails to fire half
+// the time, the single-shot engine degrades well below the paper's
+// match rates while the 5-round verify/re-hammer engine recovers
+// r_match ≥ 95% on the same end-to-end attack.
+func TestOnlineEndToEndRobustUnderFaults(t *testing.T) {
+	res, mcfg := trainedVictim(t)
+	model, err := pretrain.CloneModel(*mcfg, res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunOffline(model, res.Test.Head(64), attackConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanModel, err := pretrain.CloneModel(*mcfg, res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanFile := quant.NewQuantizer(cleanModel).WeightFileBytes()
+	reqs := RequirementsFromCodes(out.OrigCodes, out.BackdooredCodes)
+
+	run := func(cfg OnlineConfig) *OnlineResult {
+		mod, err := dram.NewModuleForSize(160<<20, dram.PaperDDR3(), 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := memsys.NewSystem(mod)
+		sys.InjectFaults(dram.FaultModel{FlipFailProb: 0.5, Seed: 9})
+		onres, err := ExecuteOnline(sys, cleanFile, reqs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return onres
+	}
+
+	filePages := len(cleanFile) / memsys.PageSize
+	single := run(DefaultOnlineConfig(filePages))
+	robust := run(RobustOnlineConfig(filePages))
+	t.Logf("fail 0.5: single shot r_match %.2f%% (%d/%d), robust r_match %.2f%% (%d/%d over %d rounds)",
+		single.RMatch, single.NMatch, single.NRequired,
+		robust.RMatch, robust.NMatch, robust.NRequired, robust.Report.RoundsExecuted())
+	if single.RMatch >= 95 {
+		t.Fatalf("single shot r_match %.2f%% under 50%% flip failure — faults had no bite", single.RMatch)
+	}
+	if robust.RMatch < 95 {
+		t.Fatalf("robust engine r_match %.2f%%, want ≥ 95%%", robust.RMatch)
 	}
 }
 

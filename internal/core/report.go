@@ -1,0 +1,78 @@
+package core
+
+// RoundStats records one hammer round of the robust online engine.
+// Every field is a pure function of the attack inputs (profiles, plan
+// and fault streams are all deterministic), so reports are byte-
+// identical across templating worker counts.
+type RoundStats struct {
+	// Round is the 1-based round number; round 1 is the full planned
+	// hammer, later rounds re-hammer only rows with missing flips.
+	Round int
+	// RowsHammered is how many victim rows this round hammered.
+	RowsHammered int
+	// NMatch counts matched-requirement flips verified fired after this
+	// round (cumulative; monotone non-decreasing because flips never
+	// revert).
+	NMatch int
+	// Missing counts matched-requirement flips still unfired after this
+	// round.
+	Missing int
+}
+
+// RetemplateStats records one adaptive re-templating pass taken because
+// PlanPlacement left requirements unmatched.
+type RetemplateStats struct {
+	// Pass is the 1-based re-templating pass number.
+	Pass int
+	// Grew is true when the pass doubled the attacker buffer; false
+	// when it re-swept the existing buffer to union in flips earlier
+	// (faulty) passes missed.
+	Grew bool
+	// BufferPages is the attacker buffer size after the pass.
+	BufferPages int
+	// ProfiledRows is the total profiled victim-row count after the
+	// pass.
+	ProfiledRows int
+	// Unmatched counts requirements still unmatched after re-planning.
+	Unmatched int
+}
+
+// StageTiming is the wall-clock breakdown of the online phase. Unlike
+// every other report field it is machine- and schedule-dependent;
+// determinism tests must zero it before comparing reports.
+type StageTiming struct {
+	ProfileNs    int64
+	PlanNs       int64
+	RetemplateNs int64
+	MassageNs    int64
+	HammerNs     int64
+	VerifyNs     int64
+}
+
+// AttackReport is the structured account of what the robust online
+// engine did: per-round verify/re-hammer progress, re-templating
+// passes, and the per-stage wall clock.
+type AttackReport struct {
+	// Rounds has one entry per executed hammer round (at least one).
+	Rounds []RoundStats
+	// Retemplates has one entry per adaptive re-templating pass (empty
+	// when the first plan matched everything or the budget was zero).
+	Retemplates []RetemplateStats
+	// Unmatched counts requirements the final plan could not place;
+	// their flips never had a chance to fire.
+	Unmatched int
+	// Timing is the per-stage wall clock (not deterministic).
+	Timing StageTiming
+}
+
+// RoundsExecuted returns how many hammer rounds ran.
+func (r *AttackReport) RoundsExecuted() int { return len(r.Rounds) }
+
+// Recovered reports how many matched-requirement flips later rounds
+// recovered beyond what round 1 achieved.
+func (r *AttackReport) Recovered() int {
+	if len(r.Rounds) < 2 {
+		return 0
+	}
+	return r.Rounds[len(r.Rounds)-1].NMatch - r.Rounds[0].NMatch
+}

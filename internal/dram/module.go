@@ -65,6 +65,13 @@ type Module struct {
 	// seenBits is weakMu-guarded scratch for duplicate-bit rejection
 	// while sampling a row; dirty bits are cleared before returning.
 	seenBits []uint64
+
+	// fault is the optional probabilistic-firing model (see fault.go);
+	// the zero value keeps hammering fully deterministic per cell.
+	fault FaultModel
+	// passCount tracks per-(bank,row) disturbance passes for the
+	// counter-based fault streams; weakMu-guarded like weakCache.
+	passCount map[int64]uint64
 }
 
 // NewModule builds a module with the given geometry and device profile.
@@ -189,7 +196,11 @@ type cellRNG uint64
 // before using it as a stream start. Without this, key streams that
 // differ by a multiple of the additive constant are shifted windows of
 // one another — adjacent rows would sample near-identical cell
-// positions, collapsing flip diversity across the buffer.
+// positions, collapsing flip diversity across the buffer. The same
+// finalized-key rule applies to every RNG keyed off structured
+// coordinates in this package: the fault-injection streams in fault.go
+// chain the identical finalizer over (seed, bank, row, pass, bit) for
+// the same reason.
 func newCellRNG(key uint64) cellRNG {
 	key = (key ^ key>>30) * 0xBF58476D1CE4E5B9
 	key = (key ^ key>>27) * 0x94D049BB133111EB
@@ -303,6 +314,7 @@ func (m *Module) hammer(bank int, aggressorRows []int, intensity float64, events
 	}
 	sort.Ints(cands)
 	escape := m.trrEscapeFraction(len(aggressorRows))
+	faulty := m.fault.enabled()
 	for i := 0; i < len(cands); {
 		victim := cands[i]
 		j := i
@@ -318,10 +330,31 @@ func (m *Module) hammer(bank int, aggressorRows []int, intensity float64, events
 		if eff <= 0 {
 			continue
 		}
+		// Fault injection: advance the row's pass counter and apply the
+		// per-pass TRR-escape jitter. Both draws come from finalized
+		// counter-based streams (fault.go), so they are pure functions of
+		// (seed, bank, row, pass) and independent of scheduling.
+		var pass uint64
+		if faulty {
+			m.weakMu.Lock()
+			pass = m.nextPassLocked(bank, victim)
+			m.weakMu.Unlock()
+			if jit := m.fault.TRRJitter; jit > 0 {
+				u := faultUniform(m.fault.Seed, bank, victim, pass, -1)
+				eff *= 1 + jit*(2*u-1)
+				if eff <= 0 {
+					continue
+				}
+			}
+		}
 		base := m.geom.RowBaseAddr(bank, victim)
 		for _, cell := range m.weakCells(bank, victim) {
 			if cell.Threshold > eff {
 				continue
+			}
+			if faulty && m.fault.FlipFailProb > 0 &&
+				faultUniform(m.fault.Seed, bank, victim, pass, cell.BitInRow) < m.fault.FlipFailProb {
+				continue // this pass failed to fire the cell; retry next pass
 			}
 			byteOff := cell.BitInRow / 8
 			bit := cell.BitInRow % 8

@@ -66,6 +66,11 @@ func NewSystem(module *dram.Module) *System {
 // Module exposes the backing DRAM (the hammering interface).
 func (s *System) Module() *dram.Module { return s.module }
 
+// InjectFaults installs a probabilistic-firing fault model on the
+// backing DRAM (see dram.FaultModel). The zero value removes it and
+// restores fully deterministic hammering.
+func (s *System) InjectFaults(f dram.FaultModel) { s.module.SetFaultModel(f) }
+
 // NumFrames returns the physical frame count.
 func (s *System) NumFrames() int { return s.nframes }
 
@@ -359,6 +364,16 @@ func (p *Process) Write(vaddr int, buf []byte) error {
 	}
 	p.sys.module.WriteRange(phys, buf)
 	return nil
+}
+
+// ReadByteAt returns the single byte at vaddr — the allocation-free probe
+// the online verify loop uses to check whether a required flip fired.
+func (p *Process) ReadByteAt(vaddr int) (byte, error) {
+	phys, err := p.Translate(vaddr)
+	if err != nil {
+		return 0, err
+	}
+	return p.sys.module.Read(phys), nil
 }
 
 // ReadMapped reads a byte range that may span pages.

@@ -6,12 +6,22 @@ package metrics
 
 import (
 	"rowhammer/internal/data"
+	"rowhammer/internal/memsys"
 	"rowhammer/internal/quant"
 	"rowhammer/internal/tensor"
 )
 
 // evalBatch is the batch size used for metric evaluation.
 const evalBatch = 64
+
+// The S of r_match is bits per OS page: the quantizer's file layout and
+// the memory system must agree on the page size, or the δ/S penalty is
+// computed against the wrong denominator. These zero-length arrays fail
+// to compile the moment the two constants diverge.
+var (
+	_ [quant.PageSize - memsys.PageSize]struct{}
+	_ [memsys.PageSize - quant.PageSize]struct{}
+)
 
 // Predictor is any model that classifies batches: the fp32 *nn.Model
 // and the int8 *quant.QModel both satisfy it, so every metric runs

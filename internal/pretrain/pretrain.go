@@ -66,6 +66,9 @@ func (c Config) Defaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Data.H == 0 || c.Data.W == 0 || c.Data.Classes == 0 {
+		c.Data = data.SynthCIFAR(0, c.Seed)
+	}
 	return c
 }
 

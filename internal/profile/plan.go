@@ -29,6 +29,11 @@ type Placement struct {
 	HammerRows []int
 	// Matched lists the requirements that found a flippy page.
 	Matched []PageRequirement
+	// MatchedRows holds, parallel to Matched, the Profile.Rows index
+	// whose page hosts each matched requirement — the row the robust
+	// online engine re-hammers when that requirement's flips fail to
+	// fire.
+	MatchedRows []int
 	// Unmatched lists requirements with no suitable page in the
 	// profile; their file pages are placed on bait and their flips
 	// never happen.
@@ -46,12 +51,19 @@ func rowBufferPages(p *Profile, ri int) [2]int {
 
 // aggressorBufferPages lists the buffer pages of a victim row's
 // aggressor rows (two pages per 8 KB aggressor chunk). Those pages must
-// stay mapped in the attacker so the online phase can hammer.
+// stay mapped in the attacker so the online phase can hammer. Aggressor
+// vaddrs outside [BufBase, BufBase+BufPages) — legal in hand-built or
+// externally merged profiles — own no buffer page and are skipped
+// rather than producing an out-of-range index.
 func aggressorBufferPages(p *Profile, ri int) []int {
 	var out []int
 	for _, va := range p.Rows[ri].AggressorVaddrs {
 		base := (va - p.BufBase) / memsys.PageSize
-		out = append(out, base, base+1)
+		for _, pg := range [2]int{base, base + 1} {
+			if va >= p.BufBase && pg >= 0 && pg < p.BufPages {
+				out = append(out, pg)
+			}
+		}
 	}
 	return out
 }
@@ -101,6 +113,7 @@ func PlanPlacement(p *Profile, reqs []PageRequirement, filePages int) (*Placemen
 		usedRows[row] = true
 		fileToBuffer[req.FilePage] = page
 		plan.Matched = append(plan.Matched, req)
+		plan.MatchedRows = append(plan.MatchedRows, row)
 		plan.HammerRows = append(plan.HammerRows, row)
 		plan.ExpectedAccidental += len(p.Rows[row].Pages[half].Flips) - len(req.Flips)
 		for _, ap := range aggressorBufferPages(p, row) {
@@ -164,33 +177,66 @@ func PlanPlacement(p *Profile, reqs []PageRequirement, filePages int) (*Placemen
 	return &plan, nil
 }
 
-// buildFlipIndex builds (once per profile) the inverted flip inventory:
-// every (offset, bit, dir) cell maps to the packed (row, half)
-// candidates — rows ascending, halves ascending — whose template
-// contains it. Matching a requirement then walks only the candidate
-// list of its rarest needle instead of scanning every profiled row.
+// buildFlipIndex builds (incrementally, memoized per profile) the
+// inverted flip inventory: every (offset, bit, dir) cell maps to the
+// packed (row, half) candidates — rows ascending, halves ascending —
+// whose template contains it. Matching a requirement then walks only
+// the candidate list of its rarest needle instead of scanning every
+// profiled row. Rows appended after a previous build (adaptive
+// re-templating) are indexed on the next call; appending preserves the
+// ascending candidate order because new rows always take higher
+// indices. Flips unioned into already-indexed rows go through
+// indexInsertFlip instead.
 func (p *Profile) buildFlipIndex() {
-	if p.flipIndex != nil {
-		return
+	if p.flipIndex == nil {
+		p.flipIndex = make(map[CellFlip][]int32)
 	}
-	idx := make(map[CellFlip][]int32)
-	for ri := range p.Rows {
+	for ri := p.indexedRows; ri < len(p.Rows); ri++ {
 		for h := 0; h < 2; h++ {
 			for _, f := range p.Rows[ri].Pages[h].Flips {
-				idx[f] = append(idx[f], int32(ri*2+h))
+				p.flipIndex[f] = append(p.flipIndex[f], int32(ri*2+h))
 			}
 		}
 	}
-	p.flipIndex = idx
+	p.indexedRows = len(p.Rows)
+}
+
+// indexInsertFlip inserts one candidate into the memoized inventory at
+// its sorted position, keeping the ascending (row, half) order the
+// tie-break of findMatch depends on. No-op while the index has not been
+// built yet (the next buildFlipIndex will pick the flip up from the row
+// itself).
+func (p *Profile) indexInsertFlip(f CellFlip, row, half int) {
+	if p.flipIndex == nil || row >= p.indexedRows {
+		return
+	}
+	packed := int32(row*2 + half)
+	l := p.flipIndex[f]
+	at := sort.Search(len(l), func(i int) bool { return l[i] >= packed })
+	if at < len(l) && l[at] == packed {
+		return
+	}
+	l = append(l, 0)
+	copy(l[at+1:], l[at:])
+	l[at] = packed
+	p.flipIndex[f] = l
 }
 
 // rowAggConflict reports whether any aggressor page of row ri was
 // already promised to a file page (allocation-free twin of scanning
-// aggressorBufferPages).
+// aggressorBufferPages). Aggressor vaddrs outside the buffer own no
+// buffer page and can never conflict; indexing them unguarded would
+// panic on profiles whose aggressors sit below BufBase.
 func rowAggConflict(p *Profile, ri int, usedPages []bool) bool {
 	for _, va := range p.Rows[ri].AggressorVaddrs {
 		base := (va - p.BufBase) / memsys.PageSize
-		if usedPages[base] || usedPages[base+1] {
+		if va < p.BufBase {
+			continue
+		}
+		if base < len(usedPages) && usedPages[base] {
+			return true
+		}
+		if base+1 < len(usedPages) && usedPages[base+1] {
 			return true
 		}
 	}

@@ -66,6 +66,10 @@ type Profile struct {
 	// PlanPlacement: cell flip → packed (row*2+half) candidates in
 	// ascending order.
 	flipIndex map[CellFlip][]int32
+	// indexedRows counts how many Rows the memoized flipIndex covers;
+	// rows appended by adaptive re-templating are indexed incrementally
+	// on the next buildFlipIndex call.
+	indexedRows int
 }
 
 // Config controls profiling.

@@ -1,0 +1,107 @@
+package profile
+
+import (
+	"fmt"
+
+	"rowhammer/internal/memsys"
+)
+
+// ExtendProfile grows an existing profile by templating a freshly
+// mapped extension region that must sit virtually flush against the end
+// of the current buffer (a second Mmap on the same process lands there
+// by construction). The extension is profiled with the same
+// configuration and its rows are appended to p with their page indices
+// rebased onto p.BufBase, so the memoized flip inventory only needs the
+// incremental index pass — candidate order stays ascending because
+// appended rows take higher indices.
+func ExtendProfile(sys *memsys.System, attacker *memsys.Process, p *Profile, extBase, extPages int, cfg Config) error {
+	want := p.BufBase + p.BufPages*memsys.PageSize
+	if extBase != want {
+		return fmt.Errorf("profile: extension at %#x not contiguous with buffer end %#x", extBase, want)
+	}
+	if extPages%2 != 0 {
+		return fmt.Errorf("profile: extension must be a whole number of 8KB rows")
+	}
+	ext, err := ProfileBuffer(sys, attacker, extBase, extPages, cfg)
+	if err != nil {
+		return fmt.Errorf("profile: extension templating: %w", err)
+	}
+	off := p.BufPages
+	for _, r := range ext.Rows {
+		idx := len(p.Rows)
+		for half := 0; half < 2; half++ {
+			r.Pages[half].BufferPage += off
+			p.victimPages[r.Pages[half].BufferPage] = [2]int{idx, half}
+		}
+		p.Rows = append(p.Rows, r)
+	}
+	for pg := range ext.aggressorPages {
+		p.aggressorPages[pg+off] = true
+	}
+	p.BufPages += extPages
+	return nil
+}
+
+// ReprofileUnion re-runs the templating sweep over the profile's entire
+// buffer and unions any newly observed flips into the existing rows.
+// Under deterministic hammering this is a no-op (the sweep reproduces
+// the recorded templates exactly); with a fault model injected
+// (dram.FaultModel) each pass flips a fresh per-pass coin per weak
+// cell, so repeated passes asymptotically recover the cells earlier
+// passes missed — the "additional profiling passes" arm of adaptive
+// re-templating. Newly found flips are appended to their page's list in
+// sweep order and inserted into the memoized flip inventory at their
+// sorted position, keeping planning deterministic. Rows whose victim
+// pages were not seen before (possible when a grown buffer's re-sweep
+// clusters across the old region boundary) are appended as new rows.
+// Returns the number of newly discovered flips.
+func ReprofileUnion(sys *memsys.System, attacker *memsys.Process, p *Profile, cfg Config) (int, error) {
+	fresh, err := ProfileBuffer(sys, attacker, p.BufBase, p.BufPages, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("profile: re-templating sweep: %w", err)
+	}
+	added := 0
+	for _, r := range fresh.Rows {
+		loc, known := p.victimPages[r.Pages[0].BufferPage]
+		loc1, known1 := p.victimPages[r.Pages[1].BufferPage]
+		if known && known1 && loc[0] == loc1[0] && loc[1] == 0 && loc1[1] == 1 {
+			// Same victim row as an existing one: union the templates,
+			// keep the recorded aggressors (any cell that fires under the
+			// re-sweep's aggressors fires under the recorded sandwich too —
+			// both deliver the same full-intensity disturbance).
+			ri := loc[0]
+			for half := 0; half < 2; half++ {
+				have := &p.Rows[ri].Pages[half]
+				for _, f := range r.Pages[half].Flips {
+					if !containsFlip(have.Flips, f) {
+						have.Flips = append(have.Flips, f)
+						p.indexInsertFlip(f, ri, half)
+						added++
+					}
+				}
+			}
+			continue
+		}
+		// A victim row the original sweeps never covered: append it.
+		idx := len(p.Rows)
+		for half := 0; half < 2; half++ {
+			p.victimPages[r.Pages[half].BufferPage] = [2]int{idx, half}
+			added += len(r.Pages[half].Flips)
+		}
+		p.Rows = append(p.Rows, r)
+	}
+	for pg := range fresh.aggressorPages {
+		p.aggressorPages[pg] = true
+	}
+	return added, nil
+}
+
+// containsFlip reports whether list already records f.
+func containsFlip(list []CellFlip, f CellFlip) bool {
+	for _, x := range list {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}

@@ -191,6 +191,38 @@ type HardwareConfig struct {
 	Sides int
 	// Seed fixes the vulnerable-cell layout and measurement noise.
 	Seed int64
+
+	// Robustness knobs (all zero = the deterministic single-shot
+	// engine, byte-identical to previous releases).
+
+	// Rounds is the verify/re-hammer round budget (≤1 = single shot).
+	Rounds int
+	// Escalation multiplies the re-hammer activation budget each retry
+	// round (0 or 1 = none); budget above 1.0 spills into additional
+	// full-intensity hammer passes per pending row.
+	Escalation float64
+	// RetemplatePasses bounds adaptive buffer growth / re-sweeps when
+	// the placement leaves requirements unmatched.
+	RetemplatePasses int
+	// FlipFailProb is the per-pass probability that a weak cell fails
+	// to fire despite sufficient disturbance (fault injection).
+	FlipFailProb float64
+	// TRRJitter scales a per-pass uniform perturbation of the
+	// disturbance level, modeling TRR-escape variability.
+	TRRJitter float64
+	// FaultSeed seeds the deterministic fault streams; 0 picks 1 when
+	// any fault knob is set.
+	FaultSeed int64
+}
+
+// AttackRound mirrors one verify/re-hammer round of the robust engine.
+type AttackRound struct {
+	Round        int
+	RowsHammered int
+	// NMatch is the cumulative count of required flips verified fired
+	// after this round; Missing is what still has not.
+	NMatch  int
+	Missing int
 }
 
 // Online is the outcome of the hammering phase.
@@ -205,6 +237,14 @@ type Online struct {
 	Required int
 	// Accidental counts extra flips in disturbed pages.
 	Accidental int
+	// Unmatched counts requirements the planner could not place on any
+	// flippy page even after re-templating.
+	Unmatched int
+	// Retemplated counts adaptive re-templating passes taken.
+	Retemplated int
+	// Rounds reports the verify/re-hammer progress, one entry per
+	// executed hammer round.
+	Rounds []AttackRound
 }
 
 // HammerOnline executes the online phase: profile, plan, massage, let
@@ -225,6 +265,13 @@ func HammerOnline(v *Victim, off *Offline, hw HardwareConfig) (*Online, error) {
 		return nil, err
 	}
 	sys := memsys.NewSystem(mod)
+	if hw.FlipFailProb > 0 || hw.TRRJitter > 0 {
+		sys.InjectFaults(dram.FaultModel{
+			FlipFailProb: hw.FlipFailProb,
+			TRRJitter:    hw.TRRJitter,
+			Seed:         orI64(hw.FaultSeed, 1),
+		})
+	}
 
 	clean, err := pretrain.CloneModel(v.cfg, v.result.Model)
 	if err != nil {
@@ -239,18 +286,32 @@ func HammerOnline(v *Victim, off *Offline, hw HardwareConfig) (*Online, error) {
 		ocfg.Sides = hw.Sides
 	}
 	ocfg.MeasureSeed = orI64(hw.Seed, 7)
+	ocfg.Rounds = hw.Rounds
+	ocfg.Escalation = hw.Escalation
+	ocfg.RetemplatePasses = hw.RetemplatePasses
 	res, err := core.ExecuteOnline(sys, cleanFile, reqs, ocfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Online{
+	on := &Online{
 		inner:       res,
 		RMatch:      res.RMatch,
 		NFlipOnline: res.NFlipOnline,
 		Matched:     res.NMatch,
 		Required:    res.NRequired,
 		Accidental:  res.AccidentalFlips,
-	}, nil
+		Unmatched:   res.Unmatched,
+		Retemplated: len(res.Report.Retemplates),
+	}
+	for _, r := range res.Report.Rounds {
+		on.Rounds = append(on.Rounds, AttackRound{
+			Round:        r.Round,
+			RowsHammered: r.RowsHammered,
+			NMatch:       r.NMatch,
+			Missing:      r.Missing,
+		})
+	}
+	return on, nil
 }
 
 // Report is the end-to-end evaluation of the attack.
