@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test-short test-race bench-kernels bench-eval bench-train bench-online vet
+.PHONY: build test-short test-race bench-kernels bench-eval bench-train bench-online bench-module vet
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,16 @@ bench-online:
 	$(GO) run ./cmd/benchjson -bench 'ExecuteOnline|ProfileBuffer|PlanPlacement|SpoilerSweep|ClusterByBank' \
 		-pkg ./internal/core,./internal/profile,./internal/sidechan -benchtime 1x \
 		-merge BENCH_online_baseline.json -o BENCH_online.json
+
+## bench-module: multi-GB module benchmarks — the sparse-storage hammer
+## hot loop, anonymous mmap at scale, and end-to-end buffer templating
+## up to the full 16 GB (4M-page) module — merged with the committed
+## pre-rewrite dense baseline (BENCH_module_baseline.json, *PrePR
+## entries) into BENCH_module.json.
+bench-module:
+	$(GO) run ./cmd/benchjson -bench 'HammerSteady|MmapAnon|ProfileModule' \
+		-pkg ./internal/dram,./internal/memsys,./internal/profile -benchtime 1x \
+		-merge BENCH_module_baseline.json -o BENCH_module.json
 
 ## vet: static checks plus a cross-compile of the portable (non-AVX2)
 ## code paths — the asm files are amd64-gated, so arm64 must build pure Go.

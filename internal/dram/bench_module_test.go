@@ -1,0 +1,40 @@
+package dram
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// BenchmarkHammerSteady measures the module-level hot loop of the
+// templating engine in isolation: fill the victim and aggressor rows,
+// hammer the double-sided sandwich, read the victim row back and scan
+// it for flipped bits. One op = one row experiment.
+func BenchmarkHammerSteady(b *testing.B) {
+	mod, err := NewModuleForSize(64<<20, PaperDDR3(), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := mod.Geometry().RowsPerBank
+	buf := make([]byte, RowBytes)
+	flips := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := 1 + i%(rows-2)
+		mod.FillRow(0, victim-1, 0xFF)
+		mod.FillRow(0, victim, 0x00)
+		mod.FillRow(0, victim+1, 0xFF)
+		mod.HammerQuiet(0, []int{victim - 1, victim + 1}, 1)
+		mod.ReadRangeInto(mod.Geometry().RowBaseAddr(0, victim), buf)
+		for off := 0; off < RowBytes; off += 8 {
+			if w := binary.LittleEndian.Uint64(buf[off : off+8]); w != 0 {
+				for ; w != 0; w &= w - 1 {
+					flips++
+				}
+			}
+		}
+	}
+	if b.N > 64 && flips == 0 {
+		b.Fatal("no flips observed")
+	}
+}

@@ -58,10 +58,11 @@ type ECCController struct {
 }
 
 // NewECCController snapshots the module's current contents as the
-// ECC-consistent state.
+// ECC-consistent state. The shadow is dense — the controller models
+// protection of specific regions under test, not multi-GB geometries.
 func NewECCController(mod *Module) *ECCController {
 	shadow := make([]byte, mod.Size())
-	copy(shadow, mod.mem)
+	mod.ReadRangeInto(0, shadow)
 	return &ECCController{mod: mod, shadow: shadow}
 }
 
@@ -77,9 +78,11 @@ func (e *ECCController) Write(addr int, buf []byte) {
 // detected (left as-is), and wider corruption passes silently.
 func (e *ECCController) ScrubWord(wordAddr int) ECCOutcome {
 	base := wordAddr * ECCWordBytes
+	var word [ECCWordBytes]byte
+	e.mod.ReadRangeInto(base, word[:])
 	flips := 0
 	for i := 0; i < ECCWordBytes; i++ {
-		d := e.mod.mem[base+i] ^ e.shadow[base+i]
+		d := word[i] ^ e.shadow[base+i]
 		for ; d != 0; d &= d - 1 {
 			flips++
 		}
@@ -88,7 +91,7 @@ func (e *ECCController) ScrubWord(wordAddr int) ECCOutcome {
 	case 0:
 		return ECCClean
 	case 1:
-		copy(e.mod.mem[base:base+ECCWordBytes], e.shadow[base:base+ECCWordBytes])
+		e.mod.WriteRange(base, e.shadow[base:base+ECCWordBytes])
 		return ECCCorrected
 	case 2:
 		return ECCDetected

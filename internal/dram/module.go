@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"rowhammer/internal/tensor"
 )
 
 // FlipDirection is the only direction a vulnerable cell can flip in.
@@ -46,20 +48,28 @@ type FlipEvent struct {
 	Dir FlipDirection
 }
 
-// Module is a simulated DRAM module: flat physical byte storage plus a
-// deterministic sparse map of vulnerable cells derived from the device
-// profile.
+// Module is a simulated DRAM module: sparse, lazily materialized
+// physical page storage (see sparse.go) plus a deterministic sparse map
+// of vulnerable cells derived from the device profile. Untouched pages
+// read as the zero fill pattern without ever allocating, so modules of
+// multi-GB geometry cost memory proportional to the rows actually
+// touched.
 type Module struct {
 	geom    Geometry
 	profile DeviceProfile
 	seed    int64
-	mem     []byte
+	store   *pageStore
 
 	// weakCache memoizes per-row weak-cell lists, generated lazily and
 	// deterministically from (seed, bank, row). weakMu guards the map so
 	// hammer experiments on disjoint row ranges (the parallel templating
 	// engine) can run concurrently; the cached slices themselves are
-	// immutable once published.
+	// immutable once published. The cache is bounded: a whole-module
+	// templating sweep touches every row once, and memoizing millions of
+	// cell lists would make profiling RSS scale with geometry again, so
+	// when the cache exceeds weakCacheLimit rows it is dropped and
+	// rebuilt — cells are a pure function of (seed, bank, row), so a
+	// regeneration is bit-identical.
 	weakMu    sync.Mutex
 	weakCache map[int64][]WeakCell
 	// seenBits is weakMu-guarded scratch for duplicate-bit rejection
@@ -74,9 +84,28 @@ type Module struct {
 	passCount map[int64]uint64
 }
 
+// weakCacheLimit bounds the memoized weak-cell rows (≈ tens of MB at
+// Table I densities). Profiling sweeps revisit a row only within a
+// small neighborhood of experiments, so a bounded cache keeps the hit
+// rate while whole-module sweeps stay O(touched working set).
+const weakCacheLimit = 32768
+
 // NewModule builds a module with the given geometry and device profile.
 // All memory starts zeroed. The seed fixes the vulnerable-cell layout.
 func NewModule(geom Geometry, profile DeviceProfile, seed int64) (*Module, error) {
+	return newModule(geom, profile, seed, false)
+}
+
+// NewDenseModule builds a module whose storage always materializes —
+// every access runs the arena-backed slow paths and constant-page fast
+// paths are disabled. It is the reference implementation the sparse-vs-
+// dense byte-identity suites compare against and is not meant for
+// multi-GB geometries.
+func NewDenseModule(geom Geometry, profile DeviceProfile, seed int64) (*Module, error) {
+	return newModule(geom, profile, seed, true)
+}
+
+func newModule(geom Geometry, profile DeviceProfile, seed int64, dense bool) (*Module, error) {
 	if err := geom.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,7 +113,7 @@ func NewModule(geom Geometry, profile DeviceProfile, seed int64) (*Module, error
 		geom:      geom,
 		profile:   profile,
 		seed:      seed,
-		mem:       make([]byte, geom.Size()),
+		store:     newPageStore(geom.Size(), dense),
 		weakCache: make(map[int64][]WeakCell),
 	}, nil
 }
@@ -102,39 +131,127 @@ func (m *Module) Geometry() Geometry { return m.geom }
 func (m *Module) Profile() DeviceProfile { return m.profile }
 
 // Size returns the capacity in bytes.
-func (m *Module) Size() int { return len(m.mem) }
+func (m *Module) Size() int { return m.geom.Size() }
 
 // Read returns the byte at a physical address.
-func (m *Module) Read(addr int) byte { return m.mem[addr] }
+func (m *Module) Read(addr int) byte {
+	s := m.store.state[addr>>pageShift]
+	if s < 0 {
+		return decodeConst(s)
+	}
+	return m.store.pageBytes(s)[addr&pageMask]
+}
 
 // Write stores a byte at a physical address.
-func (m *Module) Write(addr int, v byte) { m.mem[addr] = v }
+func (m *Module) Write(addr int, v byte) {
+	p := addr >> pageShift
+	s := m.store.state[p]
+	if s < 0 {
+		if decodeConst(s) == v && !m.store.dense {
+			return
+		}
+		m.store.materialize(p)[addr&pageMask] = v
+		return
+	}
+	m.store.pageBytes(s)[addr&pageMask] = v
+}
 
 // ReadRange copies n bytes starting at addr.
 func (m *Module) ReadRange(addr, n int) []byte {
 	out := make([]byte, n)
-	copy(out, m.mem[addr:addr+n])
+	m.ReadRangeInto(addr, out)
 	return out
 }
 
 // ReadRangeInto copies len(buf) bytes starting at addr into buf — the
 // allocation-free twin of ReadRange for steady-state readback loops.
+// Constant pages expand through the vectorized fill kernel without ever
+// materializing.
 func (m *Module) ReadRangeInto(addr int, buf []byte) {
-	copy(buf, m.mem[addr:addr+len(buf)])
+	for len(buf) > 0 {
+		p := addr >> pageShift
+		off := addr & pageMask
+		n := OSPageBytes - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if s := m.store.state[p]; s < 0 {
+			tensor.FillBytes(buf[:n], decodeConst(s))
+		} else {
+			copy(buf[:n], m.store.pageBytes(s)[off:off+n])
+		}
+		addr += n
+		buf = buf[n:]
+	}
 }
 
-// WriteRange stores buf starting at addr.
+// WriteRange stores buf starting at addr. Segments that leave a page
+// equal to one constant byte keep (or return) the page in constant
+// state, so bulk pattern writes — the templating fills, anonymous page
+// zeroing — never materialize storage.
 func (m *Module) WriteRange(addr int, buf []byte) {
-	copy(m.mem[addr:addr+len(buf)], buf)
+	for len(buf) > 0 {
+		p := addr >> pageShift
+		off := addr & pageMask
+		n := OSPageBytes - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		seg := buf[:n]
+		if s := m.store.state[p]; s < 0 && !m.store.dense {
+			if tensor.IndexMismatchByte(seg, decodeConst(s)) < 0 {
+				// Segment repeats the page's constant: no-op.
+				addr += n
+				buf = buf[n:]
+				continue
+			}
+			if n == OSPageBytes && tensor.IndexMismatchByte(seg[1:], seg[0]) < 0 {
+				// Full page of one (different) byte: swap the constant.
+				m.store.demote(p, seg[0])
+				addr += n
+				buf = buf[n:]
+				continue
+			}
+		}
+		copy(m.store.materialize(p)[off:off+n], seg)
+		addr += n
+		buf = buf[n:]
+	}
+}
+
+// FillPage sets every byte of the 4 KB page at addr (page-aligned) to
+// v. On a sparse module this demotes the page to constant state and
+// recycles any arena cell it held — the O(1) path every templating fill
+// and anonymous-page zeroing goes through.
+func (m *Module) FillPage(addr int, v byte) {
+	if addr&pageMask != 0 {
+		panic("dram: FillPage address not page aligned")
+	}
+	p := addr >> pageShift
+	if m.store.dense {
+		tensor.FillBytes(m.store.materialize(p), v)
+		return
+	}
+	m.store.demote(p, v)
+}
+
+// PageConstant reports whether the 4 KB page containing addr currently
+// reads as a single constant byte, and which. Scan loops use it to skip
+// whole pages without touching memory; a materialized page returns
+// ok=false and must be read.
+func (m *Module) PageConstant(addr int) (byte, bool) {
+	s := m.store.state[addr>>pageShift]
+	if s < 0 {
+		return decodeConst(s), true
+	}
+	return 0, false
 }
 
 // FillRow sets every byte of a row to v.
 func (m *Module) FillRow(bank, row int, v byte) {
 	base := m.geom.RowBaseAddr(bank, row)
-	seg := m.mem[base : base+RowBytes]
-	for i := range seg {
-		seg[i] = v
-	}
+	m.FillPage(base, v)
+	m.FillPage(base+OSPageBytes, v)
 }
 
 // weakCells returns the vulnerable cells of a row, generated lazily.
@@ -168,23 +285,39 @@ func (m *Module) weakCells(bank, row int) []WeakCell {
 		if rng.float64() < 0.5 {
 			dir = OneToZero
 		}
-		// Thresholds live in (0.55, 1]: a full double-sided hammer
-		// (disturbance 1.0) fires every weak cell, while single-sided
-		// disturbance (0.5) fires none — matching the observation that
-		// DDR3 flips need the sandwich pattern and that victim rows
-		// adjacent to a single aggressor survive.
+		// Thresholds live in [weakThresholdFloor, 1): a full double-sided
+		// hammer (disturbance 1.0) fires every weak cell, while
+		// single-sided disturbance (0.5) fires none — matching the
+		// observation that DDR3 flips need the sandwich pattern and that
+		// victim rows adjacent to a single aggressor survive.
 		cells = append(cells, WeakCell{
 			BitInRow:  bit,
 			Dir:       dir,
-			Threshold: 0.55 + 0.45*rng.float64(),
+			Threshold: weakThresholdFloor + weakThresholdSpan*rng.float64(),
 		})
 	}
 	for _, c := range cells {
 		m.seenBits[c.BitInRow/64] &^= 1 << (c.BitInRow % 64)
 	}
+	if len(m.weakCache) >= weakCacheLimit {
+		// Drop and rebuild rather than evict: cells are pure functions of
+		// (seed, bank, row), so regeneration is bit-identical and a sweep
+		// past the limit costs one extra generation per row, not
+		// correctness.
+		m.weakCache = make(map[int64][]WeakCell)
+	}
 	m.weakCache[key] = cells
 	return cells
 }
+
+// weakThresholdFloor/weakThresholdSpan bound weak-cell thresholds to
+// [floor, floor+span): disturbance below the floor cannot fire any cell,
+// which the hammer core exploits to skip victims without generating
+// their cell lists.
+const (
+	weakThresholdFloor = 0.55
+	weakThresholdSpan  = 0.45
+)
 
 // cellRNG is a splitmix64 stream for weak-cell generation. Keying one
 // costs a single add, versus the ~6 µs lagged-Fibonacci seeding of
@@ -304,9 +437,11 @@ func (m *Module) hammer(bank int, aggressorRows []int, intensity float64, events
 	if 2*len(aggressorRows) > len(candBuf) {
 		cands = make([]int, 0, 2*len(aggressorRows))
 	}
+	var aggs rowSet
+	aggs.init(aggressorRows)
 	for _, r := range aggressorRows {
 		for _, v := range [2]int{r - 1, r + 1} {
-			if v < 0 || v >= m.geom.RowsPerBank || containsRow(aggressorRows, v) {
+			if v < 0 || v >= m.geom.RowsPerBank || aggs.contains(v) {
 				continue
 			}
 			cands = append(cands, v)
@@ -330,6 +465,13 @@ func (m *Module) hammer(bank int, aggressorRows []int, intensity float64, events
 		if eff <= 0 {
 			continue
 		}
+		// Sub-threshold hammers cannot fire any cell (thresholds start at
+		// weakThresholdFloor), so skip the victim without generating its
+		// cell list. Gated on !faulty: the fault model's pass counters and
+		// jitter draws must advance exactly as before.
+		if !faulty && eff < weakThresholdFloor {
+			continue
+		}
 		// Fault injection: advance the row's pass counter and apply the
 		// per-pass TRR-escape jitter. Both draws come from finalized
 		// counter-based streams (fault.go), so they are pure functions of
@@ -348,6 +490,11 @@ func (m *Module) hammer(bank int, aggressorRows []int, intensity float64, events
 			}
 		}
 		base := m.geom.RowBaseAddr(bank, victim)
+		// Copy-on-hammer: the victim row's two pages stay in constant
+		// state until a cell actually changes a bit. Reads against a
+		// constant page decode the fill byte in place; the first real flip
+		// materializes that half into the arena.
+		var halves [2][]byte
 		for _, cell := range m.weakCells(bank, victim) {
 			if cell.Threshold > eff {
 				continue
@@ -358,36 +505,77 @@ func (m *Module) hammer(bank int, aggressorRows []int, intensity float64, events
 			}
 			byteOff := cell.BitInRow / 8
 			bit := cell.BitInRow % 8
-			addr := base + byteOff
-			cur := m.mem[addr] & (1 << bit)
-			switch cell.Dir {
-			case ZeroToOne:
-				if cur == 0 {
-					m.mem[addr] |= 1 << bit
-					if events != nil {
-						*events = append(*events, FlipEvent{Addr: addr, Bit: bit, Dir: ZeroToOne})
-					}
-				}
-			case OneToZero:
-				if cur != 0 {
-					m.mem[addr] &^= 1 << bit
-					if events != nil {
-						*events = append(*events, FlipEvent{Addr: addr, Bit: bit, Dir: OneToZero})
-					}
-				}
+			h := byteOff >> pageShift
+			page := (base >> pageShift) + h
+			var cur byte
+			if halves[h] != nil {
+				cur = halves[h][byteOff&pageMask]
+			} else if s := m.store.state[page]; s < 0 {
+				cur = decodeConst(s)
+			} else {
+				halves[h] = m.store.pageBytes(s)
+				cur = halves[h][byteOff&pageMask]
+			}
+			if (cur&(1<<bit) != 0) == (cell.Dir == ZeroToOne) {
+				continue // bit already sits in the cell's target state
+			}
+			if halves[h] == nil {
+				halves[h] = m.store.materialize(page)
+			}
+			halves[h][byteOff&pageMask] ^= 1 << bit
+			if events != nil {
+				*events = append(*events, FlipEvent{Addr: base + byteOff, Bit: bit, Dir: cell.Dir})
 			}
 		}
 	}
 }
 
-// containsRow reports whether rows (a short aggressor list) contains r.
-func containsRow(rows []int, r int) bool {
-	for _, x := range rows {
-		if x == r {
+// rowSet answers aggressor-membership queries in O(1) regardless of
+// pattern width, replacing the linear scan that made victim discovery
+// quadratic in the number of sides. Patterns up to half the table stay
+// on a stack-resident open-addressed table (power-of-two size, linear
+// probing); wider ones — beyond any pattern the simulator issues — fall
+// back to a heap map.
+type rowSet struct {
+	table [64]int // row+1, 0 = empty
+	big   map[int]struct{}
+}
+
+func (s *rowSet) init(rows []int) {
+	if len(rows) > len(s.table)/2 {
+		s.big = make(map[int]struct{}, len(rows))
+		for _, r := range rows {
+			s.big[r] = struct{}{}
+		}
+		return
+	}
+	for _, r := range rows {
+		h := rowSetHash(r)
+		for s.table[h] != 0 {
+			if s.table[h] == r+1 {
+				break
+			}
+			h = (h + 1) & (len(s.table) - 1)
+		}
+		s.table[h] = r + 1
+	}
+}
+
+func (s *rowSet) contains(r int) bool {
+	if s.big != nil {
+		_, ok := s.big[r]
+		return ok
+	}
+	for h := rowSetHash(r); s.table[h] != 0; h = (h + 1) & (len(s.table) - 1) {
+		if s.table[h] == r+1 {
 			return true
 		}
 	}
 	return false
+}
+
+func rowSetHash(r int) int {
+	return int(uint64(r)*0x9E3779B97F4A7C15>>58) & 63
 }
 
 // HammerDoubleSided sandwiches the victim row between two aggressors —

@@ -1,0 +1,33 @@
+package memsys
+
+import (
+	"fmt"
+	"testing"
+
+	"rowhammer/internal/dram"
+)
+
+// BenchmarkMmapAnon measures mapping a large anonymous buffer on a
+// fresh system — the attacker's first act in every online campaign.
+// One op = Mmap of the full buffer (frame allocation plus page
+// zeroing).
+func BenchmarkMmapAnon(b *testing.B) {
+	for _, pages := range []int{65536, 262144} {
+		b.Run(fmt.Sprintf("pages%d", pages), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mod, err := dram.NewModuleForSize(pages*PageSize+(16<<20), dram.PaperDDR3(), 11)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys := NewSystem(mod)
+				attacker := sys.NewProcess()
+				b.StartTimer()
+				if _, err := attacker.Mmap(pages); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -18,23 +18,25 @@ const HugePageFrames = 512
 // exists.
 func (p *Process) MmapHuge(npages int) (int, error) {
 	base := p.nextVPage
+	p.ensurePT(base + npages*HugePageFrames)
 	allocated := 0
 	for hp := 0; hp < npages; hp++ {
 		start, err := p.sys.findContiguousFrames(HugePageFrames)
 		if err != nil {
 			// Roll back previous huge pages.
 			for i := 0; i < allocated; i++ {
-				entry := p.pages[base+i]
-				delete(p.pages, base+i)
-				p.sys.free[entry.frame] = true
+				entry := p.pt[base+i]
+				p.pt[base+i].frame = -1
+				p.mapped--
+				p.sys.setFrameFree(int(entry.frame), true)
 			}
 			return 0, fmt.Errorf("memsys: huge page %d: %w", hp, err)
 		}
 		for i := 0; i < HugePageFrames; i++ {
 			f := start + i
-			p.sys.free[f] = false
+			p.sys.setFrameFree(f, false)
 			p.zeroFrame(f)
-			p.pages[base+allocated] = mappingEntry{frame: f}
+			p.setEntry(base+allocated, ptEntry{frame: int32(f), fileID: -1})
 			allocated++
 		}
 	}
@@ -44,16 +46,21 @@ func (p *Process) MmapHuge(npages int) (int, error) {
 
 // findContiguousFrames locates a run of n free frames aligned to n (the
 // buddy-allocator alignment huge pages require). Frames sitting in the
-// per-CPU cache are not eligible (they are considered in-flight).
+// per-CPU cache are not eligible (they are considered in-flight). The
+// free check is word-wise over the bitset, so a multi-GB module scans in
+// a few thousand word compares.
 func (s *System) findContiguousFrames(n int) (int, error) {
 	cached := make(map[int]bool, len(s.frameCache))
 	for _, f := range s.frameCache {
 		cached[f] = true
 	}
 	for start := 0; start+n <= s.nframes; start += n {
+		if !s.rangeFree(start, n) {
+			continue
+		}
 		ok := true
 		for f := start; f < start+n; f++ {
-			if !s.free[f] || cached[f] {
+			if cached[f] {
 				ok = false
 				break
 			}
@@ -63,4 +70,24 @@ func (s *System) findContiguousFrames(n int) (int, error) {
 		}
 	}
 	return 0, fmt.Errorf("memsys: no aligned run of %d contiguous frames", n)
+}
+
+// rangeFree reports whether every frame in [start, start+n) is free,
+// checking 64 frames per word on aligned spans.
+func (s *System) rangeFree(start, n int) bool {
+	f := start
+	for f < start+n {
+		if f&63 == 0 && start+n-f >= 64 {
+			if s.free[f>>6] != ^uint64(0) {
+				return false
+			}
+			f += 64
+			continue
+		}
+		if !s.frameFree(f) {
+			return false
+		}
+		f++
+	}
+	return true
 }

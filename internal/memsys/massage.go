@@ -18,12 +18,21 @@ import "fmt"
 // The victim file must not already be resident in the page cache
 // (evict it first); cached pages do not allocate frames.
 func MassageFileMapping(attacker *Process, bufBase int, assignment []int) error {
-	seen := make(map[int]bool, len(assignment))
+	maxBP := 0
 	for _, bp := range assignment {
-		if seen[bp] {
+		if bp < 0 {
+			return fmt.Errorf("memsys: negative buffer page %d in assignment", bp)
+		}
+		if bp > maxBP {
+			maxBP = bp
+		}
+	}
+	seen := make([]uint64, maxBP/64+1)
+	for _, bp := range assignment {
+		if seen[bp>>6]&(1<<(uint(bp)&63)) != 0 {
 			return fmt.Errorf("memsys: buffer page %d assigned twice", bp)
 		}
-		seen[bp] = true
+		seen[bp>>6] |= 1 << (uint(bp) & 63)
 	}
 	for i := len(assignment) - 1; i >= 0; i-- {
 		if err := attacker.MunmapPage(bufBase + assignment[i]*PageSize); err != nil {

@@ -6,11 +6,18 @@
 // runs. Rowhammer corrupts frames directly in DRAM, so the page cache
 // keeps serving the modified copy and the on-disk file stays pristine —
 // the stealth property of §IV-B.
+//
+// The bookkeeping is sized for multi-GB modules (millions of frames):
+// the free list is a bitset scanned word-wise, page tables are flat
+// slices indexed by virtual page, and the file page cache maps file
+// pages to frames through a dense slice — no per-page map entries
+// anywhere on the translate or fault-in paths.
 package memsys
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"rowhammer/internal/dram"
 )
@@ -27,24 +34,30 @@ type System struct {
 	module  *dram.Module
 	nframes int
 
-	// free is the buddy-allocator stand-in: frames not in any mapping
-	// and not in the frame cache, allocated lowest-first. Frames only
-	// leave the free list (released frames go to the frame cache), so
-	// the lowest free index is monotone and nextFree lets allocFrame
-	// resume its scan instead of rescanning from zero.
-	free     []bool
+	// free is the buddy-allocator stand-in, one bit per frame (1 = free):
+	// frames not in any mapping and not in the frame cache, allocated
+	// lowest-first. Frames only leave the free list (released frames go
+	// to the frame cache), so the lowest free index is monotone and
+	// nextFree lets allocFrame resume its scan instead of rescanning from
+	// zero.
+	free     []uint64
 	nextFree int
 	// frameCache is the per-CPU page-frame cache: a FILO stack of
 	// recently unmapped frames, consulted before the free list.
 	frameCache []int
 
-	files   map[string]*cachedFile
-	nextPID int
+	files    map[string]*cachedFile
+	fileList []*cachedFile // file ID → file, for page-table back-references
+	nextPID  int
 }
 
 type cachedFile struct {
-	data   []byte      // "disk" contents
-	frames map[int]int // file page → frame, for cached pages
+	id   int32
+	data []byte // "disk" contents
+	// frames maps file page → physical frame for cached pages, −1 when
+	// the page is not resident.
+	frames []int32
+	cached int
 }
 
 // NewSystem wraps a DRAM module. Frames cover the module's full
@@ -54,11 +67,16 @@ func NewSystem(module *dram.Module) *System {
 	s := &System{
 		module:  module,
 		nframes: n,
-		free:    make([]bool, n),
+		free:    make([]uint64, (n+63)/64),
 		files:   make(map[string]*cachedFile),
 	}
 	for i := range s.free {
-		s.free[i] = true
+		s.free[i] = ^uint64(0)
+	}
+	// Bits past nframes must stay clear or the word-wise scan would hand
+	// out phantom frames.
+	if r := n & 63; r != 0 {
+		s.free[len(s.free)-1] = 1<<uint(r) - 1
 	}
 	return s
 }
@@ -77,21 +95,36 @@ func (s *System) NumFrames() int { return s.nframes }
 // FrameCacheDepth reports how many frames sit in the per-CPU cache.
 func (s *System) FrameCacheDepth() int { return len(s.frameCache) }
 
+func (s *System) frameFree(f int) bool {
+	return s.free[f>>6]&(1<<(uint(f)&63)) != 0
+}
+
+func (s *System) setFrameFree(f int, v bool) {
+	if v {
+		s.free[f>>6] |= 1 << (uint(f) & 63)
+	} else {
+		s.free[f>>6] &^= 1 << (uint(f) & 63)
+	}
+}
+
 // allocFrame pops the most recently freed frame from the per-CPU cache,
 // falling back to the lowest free frame — the FILO behavior Listing 1
-// exploits.
+// exploits. The free-list scan skips 64 frames per word.
 func (s *System) allocFrame() (int, error) {
 	if n := len(s.frameCache); n > 0 {
 		f := s.frameCache[n-1]
 		s.frameCache = s.frameCache[:n-1]
 		return f, nil
 	}
-	for f := s.nextFree; f < s.nframes; f++ {
-		if s.free[f] {
-			s.free[f] = false
+	f := s.nextFree
+	for f < s.nframes {
+		if w := s.free[f>>6] >> (uint(f) & 63); w != 0 {
+			f += bits.TrailingZeros64(w)
+			s.setFrameFree(f, false)
 			s.nextFree = f + 1
 			return f, nil
 		}
+		f = (f>>6 + 1) << 6
 	}
 	return 0, ErrNoMemory
 }
@@ -104,15 +137,34 @@ func (s *System) releaseFrame(f int) {
 // WriteFile stores file contents on the simulated disk. An existing
 // cached copy is invalidated.
 func (s *System) WriteFile(name string, data []byte) {
+	id := int32(len(s.fileList))
 	if old, ok := s.files[name]; ok {
 		for _, f := range old.frames {
-			s.releaseFrame(f)
+			if f >= 0 {
+				s.releaseFrame(int(f))
+			}
 		}
+		id = old.id
 	}
-	s.files[name] = &cachedFile{
+	cf := &cachedFile{
+		id:     id,
 		data:   append([]byte(nil), data...),
-		frames: make(map[int]int),
+		frames: newFrameIndex((len(data) + PageSize - 1) / PageSize),
 	}
+	s.files[name] = cf
+	if int(id) == len(s.fileList) {
+		s.fileList = append(s.fileList, cf)
+	} else {
+		s.fileList[id] = cf
+	}
+}
+
+func newFrameIndex(npages int) []int32 {
+	idx := make([]int32, npages)
+	for i := range idx {
+		idx[i] = -1
+	}
+	return idx
 }
 
 // FileSize returns a file's length in bytes.
@@ -142,10 +194,13 @@ func (s *System) EvictFile(name string) error {
 	if !ok {
 		return fmt.Errorf("memsys: no such file %q", name)
 	}
-	for _, f := range cf.frames {
-		s.releaseFrame(f)
+	for i, f := range cf.frames {
+		if f >= 0 {
+			s.releaseFrame(int(f))
+			cf.frames[i] = -1
+		}
 	}
-	cf.frames = make(map[int]int)
+	cf.cached = 0
 	return nil
 }
 
@@ -156,9 +211,11 @@ func (s *System) FileCachedFrames(name string) (map[int]int, error) {
 	if !ok {
 		return nil, fmt.Errorf("memsys: no such file %q", name)
 	}
-	out := make(map[int]int, len(cf.frames))
-	for k, v := range cf.frames {
-		out[k] = v
+	out := make(map[int]int, cf.cached)
+	for fp, f := range cf.frames {
+		if f >= 0 {
+			out[fp] = int(f)
+		}
 	}
 	return out, nil
 }
@@ -169,33 +226,66 @@ func (s *System) NewProcess() *Process {
 	return &Process{
 		sys:       s,
 		pid:       s.nextPID,
-		pages:     make(map[int]mappingEntry),
 		nextVPage: 0x1000, // arbitrary non-zero base
 	}
 }
 
-type mappingEntry struct {
-	frame    int
-	file     string // "" for anonymous
-	filePage int
+// ptEntry is one page-table slot. frame < 0 means unmapped; fileID ≥ 0
+// names the backing file (index into System.fileList) with filePage its
+// page within that file, fileID < 0 is anonymous.
+type ptEntry struct {
+	frame    int32
+	fileID   int32
+	filePage int32
 }
 
 // Process is one address space. Virtual addresses are byte addresses;
-// mappings are tracked per page.
+// mappings are tracked per page in a flat table indexed by virtual page
+// number, so Translate — the hottest call in the templating engine — is
+// one bounds check and one load.
 type Process struct {
 	sys       *System
 	pid       int
-	pages     map[int]mappingEntry
+	pt        []ptEntry
+	mapped    int
 	nextVPage int
 }
 
 // PID returns the process id.
 func (p *Process) PID() int { return p.pid }
 
+// ensurePT extends the page table with unmapped entries through virtual
+// page n−1.
+func (p *Process) ensurePT(n int) {
+	if n <= len(p.pt) {
+		return
+	}
+	old := len(p.pt)
+	if cap(p.pt) >= n {
+		p.pt = p.pt[:n]
+	} else {
+		grown := make([]ptEntry, n, n+n/2)
+		copy(grown, p.pt)
+		p.pt = grown
+	}
+	for i := old; i < len(p.pt); i++ {
+		p.pt[i].frame = -1
+	}
+}
+
+func (p *Process) setEntry(vp int, e ptEntry) {
+	p.ensurePT(vp + 1)
+	if p.pt[vp].frame < 0 {
+		p.mapped++
+	}
+	p.pt[vp] = e
+}
+
 // Mmap maps npages fresh anonymous zeroed pages and returns the base
 // virtual address.
 func (p *Process) Mmap(npages int) (int, error) {
 	base := p.nextVPage
+	p.ensurePT(base + npages)
 	for i := 0; i < npages; i++ {
 		f, err := p.sys.allocFrame()
 		if err != nil {
@@ -206,18 +296,17 @@ func (p *Process) Mmap(npages int) (int, error) {
 			return 0, err
 		}
 		p.zeroFrame(f)
-		p.pages[base+i] = mappingEntry{frame: f}
+		p.setEntry(base+i, ptEntry{frame: int32(f), fileID: -1})
 	}
 	p.nextVPage += npages
 	return base * PageSize, nil
 }
 
-// zeroPage is the shared all-zero source page for anonymous mappings;
-// read-only, so safe to share across every zeroFrame call.
-var zeroPage [PageSize]byte
-
+// zeroFrame zeroes a frame's contents. On a sparse module this demotes
+// the page to constant state — O(1) and allocation-free, so mapping
+// gigabytes of fresh anonymous memory costs only page-table updates.
 func (p *Process) zeroFrame(f int) {
-	p.sys.module.WriteRange(f*PageSize, zeroPage[:])
+	p.sys.module.FillPage(f*PageSize, 0)
 }
 
 // DrainFrameCache maps every frame currently sitting in the per-CPU
@@ -233,6 +322,7 @@ func (p *Process) DrainFrameCache() (int, int, error) {
 		return 0, 0, nil
 	}
 	base := p.nextVPage
+	p.ensurePT(base + n)
 	for i := 0; i < n; i++ {
 		f, err := p.sys.allocFrame()
 		if err != nil {
@@ -242,7 +332,7 @@ func (p *Process) DrainFrameCache() (int, int, error) {
 			return 0, 0, err
 		}
 		p.zeroFrame(f)
-		p.pages[base+i] = mappingEntry{frame: f}
+		p.setEntry(base+i, ptEntry{frame: int32(f), fileID: -1})
 	}
 	p.nextVPage += n
 	return base * PageSize, n, nil
@@ -259,15 +349,16 @@ func (p *Process) MmapFile(name string) (int, error) {
 	}
 	npages := (len(cf.data) + PageSize - 1) / PageSize
 	base := p.nextVPage
+	p.ensurePT(base + npages)
 	var page [PageSize]byte // stack scratch reused for every uncached page
 	for i := 0; i < npages; i++ {
-		f, cached := cf.frames[i]
-		if !cached {
-			var err error
-			f, err = p.sys.allocFrame()
+		f := cf.frames[i]
+		if f < 0 {
+			nf, err := p.sys.allocFrame()
 			if err != nil {
 				return 0, err
 			}
+			f = int32(nf)
 			lo := i * PageSize
 			hi := lo + PageSize
 			if hi > len(cf.data) {
@@ -275,10 +366,11 @@ func (p *Process) MmapFile(name string) (int, error) {
 			}
 			n := copy(page[:], cf.data[lo:hi])
 			clear(page[n:]) // zero-fill tail of a partial final page
-			p.sys.module.WriteRange(f*PageSize, page[:])
+			p.sys.module.WriteRange(int(f)*PageSize, page[:])
 			cf.frames[i] = f
+			cf.cached++
 		}
-		p.pages[base+i] = mappingEntry{frame: f, file: name, filePage: i}
+		p.setEntry(base+i, ptEntry{frame: f, fileID: cf.id, filePage: int32(i)})
 	}
 	p.nextVPage += npages
 	return base * PageSize, nil
@@ -289,13 +381,14 @@ func (p *Process) MmapFile(name string) (int, error) {
 // (only the mapping is removed).
 func (p *Process) MunmapPage(vaddr int) error {
 	vp := vaddr / PageSize
-	entry, ok := p.pages[vp]
-	if !ok {
+	if vp < 0 || vp >= len(p.pt) || p.pt[vp].frame < 0 {
 		return fmt.Errorf("memsys: page %#x not mapped", vaddr)
 	}
-	delete(p.pages, vp)
-	if entry.file == "" {
-		p.sys.releaseFrame(entry.frame)
+	entry := p.pt[vp]
+	p.pt[vp].frame = -1
+	p.mapped--
+	if entry.fileID < 0 {
+		p.sys.releaseFrame(int(entry.frame))
 	}
 	return nil
 }
@@ -303,11 +396,12 @@ func (p *Process) MunmapPage(vaddr int) error {
 // Translate returns the physical byte address backing vaddr.
 func (p *Process) Translate(vaddr int) (int, error) {
 	vp := vaddr / PageSize
-	entry, ok := p.pages[vp]
-	if !ok {
-		return 0, fmt.Errorf("memsys: page %#x not mapped", vaddr)
+	if vp >= 0 && vp < len(p.pt) {
+		if f := p.pt[vp].frame; f >= 0 {
+			return int(f)*PageSize + vaddr%PageSize, nil
+		}
 	}
-	return entry.frame*PageSize + vaddr%PageSize, nil
+	return 0, fmt.Errorf("memsys: page %#x not mapped", vaddr)
 }
 
 // FrameOf returns the physical frame of the page containing vaddr.
@@ -325,14 +419,11 @@ func (p *Process) FrameOf(vaddr int) (int, error) {
 
 // Read returns n bytes at vaddr (must lie within one page).
 func (p *Process) Read(vaddr, n int) ([]byte, error) {
-	phys, err := p.Translate(vaddr)
-	if err != nil {
+	buf := make([]byte, n)
+	if err := p.ReadInto(vaddr, buf); err != nil {
 		return nil, err
 	}
-	if vaddr%PageSize+n > PageSize {
-		return nil, fmt.Errorf("memsys: read crosses page boundary")
-	}
-	return p.sys.module.ReadRange(phys, n), nil
+	return buf, nil
 }
 
 // ReadInto copies len(buf) bytes at vaddr into buf (the range must lie
@@ -366,6 +457,33 @@ func (p *Process) Write(vaddr int, buf []byte) error {
 	return nil
 }
 
+// FillPage sets every byte of the mapped page at vaddr (page-aligned)
+// to v. On a sparse module this is the O(1) demote path, so templating
+// fills never materialize storage or stream 4 KB buffers.
+func (p *Process) FillPage(vaddr int, v byte) error {
+	if vaddr%PageSize != 0 {
+		return fmt.Errorf("memsys: FillPage vaddr %#x not page aligned", vaddr)
+	}
+	phys, err := p.Translate(vaddr)
+	if err != nil {
+		return err
+	}
+	p.sys.module.FillPage(phys, v)
+	return nil
+}
+
+// PageConstantAt reports whether the mapped page containing vaddr
+// currently reads as a single constant byte, and which. Scan loops use
+// it to skip clean pages without touching memory.
+func (p *Process) PageConstantAt(vaddr int) (byte, bool, error) {
+	phys, err := p.Translate(vaddr)
+	if err != nil {
+		return 0, false, err
+	}
+	c, ok := p.sys.module.PageConstant(phys)
+	return c, ok, nil
+}
+
 // ReadByteAt returns the single byte at vaddr — the allocation-free probe
 // the online verify loop uses to check whether a required flip fired.
 func (p *Process) ReadByteAt(vaddr int) (byte, error) {
@@ -378,22 +496,20 @@ func (p *Process) ReadByteAt(vaddr int) (byte, error) {
 
 // ReadMapped reads a byte range that may span pages.
 func (p *Process) ReadMapped(vaddr, n int) ([]byte, error) {
-	out := make([]byte, 0, n)
-	for n > 0 {
-		chunk := PageSize - vaddr%PageSize
-		if chunk > n {
-			chunk = n
+	out := make([]byte, n)
+	off := 0
+	for off < n {
+		chunk := PageSize - (vaddr+off)%PageSize
+		if chunk > n-off {
+			chunk = n - off
 		}
-		b, err := p.Read(vaddr, chunk)
-		if err != nil {
+		if err := p.ReadInto(vaddr+off, out[off:off+chunk]); err != nil {
 			return nil, err
 		}
-		out = append(out, b...)
-		vaddr += chunk
-		n -= chunk
+		off += chunk
 	}
 	return out, nil
 }
 
 // MappedPages returns the number of currently mapped pages.
-func (p *Process) MappedPages() int { return len(p.pages) }
+func (p *Process) MappedPages() int { return p.mapped }

@@ -1,0 +1,69 @@
+package profile
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+)
+
+// moduleBenchSetup builds a system around a realistic low-density
+// DDR3 device (Table I "B1", 1.05 flips/page) with an attacker buffer
+// of bufPages already mapped — the multi-GB templating scenario.
+func moduleBenchSetup(b *testing.B, bufPages int) (*memsys.System, *memsys.Process, int) {
+	b.Helper()
+	prof, ok := dram.ProfileByName("B1")
+	if !ok {
+		b.Fatal("no B1 profile")
+	}
+	mod, err := dram.NewModuleForSize(bufPages*memsys.PageSize+(16<<20), prof, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := memsys.NewSystem(mod)
+	attacker := sys.NewProcess()
+	base, err := attacker.Mmap(bufPages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, attacker, base
+}
+
+// BenchmarkProfileModule templates a whole attacker buffer end-to-end
+// (SPOILER contiguity check included) at module scale: 256 MB and 1 GB
+// buffers here; BenchmarkProfileModule16GB covers the 4M-page DIMM.
+func BenchmarkProfileModule(b *testing.B) {
+	benchProfileModule(b, []int{65536, 262144})
+}
+
+// BenchmarkProfileModule16GB is the tentpole scenario: an entire 16 GB
+// module (4,194,304 pages) templated end-to-end through ProfileBuffer.
+// Only meaningful on the sparse storage path — the dense module would
+// need 16 GB of RSS before the first hammer.
+func BenchmarkProfileModule16GB(b *testing.B) {
+	benchProfileModule(b, []int{4194304})
+}
+
+func benchProfileModule(b *testing.B, sizes []int) {
+	for _, bufPages := range sizes {
+		b.Run(fmt.Sprintf("pages%d", bufPages), func(b *testing.B) {
+			sys, attacker, base := moduleBenchSetup(b, bufPages)
+			runtime.GC() // drop prior sub-benchmarks' heap before timing
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := ProfileBuffer(sys, attacker, base, bufPages, Config{
+					Sides: 2, Intensity: 1, MeasureSeed: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.TotalFlips() == 0 {
+					b.Fatal("no flips templated")
+				}
+			}
+		})
+	}
+}

@@ -1,7 +1,6 @@
 package profile
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
@@ -58,10 +57,14 @@ type Profile struct {
 	BufPages int
 	// Rows lists every profiled victim row (flippy or not).
 	Rows []VictimRow
-	// aggressorPages marks buffer pages that belong to aggressor rows.
-	aggressorPages map[int]bool
-	// victimPages maps buffer page → (row index, half).
-	victimPages map[int][2]int
+	// aggressorBits marks buffer pages that belong to aggressor rows,
+	// one bit per buffer page.
+	aggressorBits []uint64
+	// victimIdx maps buffer page → packed row*2+half, −1 when the page
+	// is not a profiled victim half. Flat slices instead of maps: a
+	// multi-GB buffer has millions of victim pages and the per-entry map
+	// overhead dominated profile assembly.
+	victimIdx []int32
 	// flipIndex is the inverted flip inventory built lazily by
 	// PlanPlacement: cell flip → packed (row*2+half) candidates in
 	// ascending order.
@@ -84,6 +87,48 @@ type Config struct {
 	MeasureSeed int64
 	// SkipSpoilerCheck bypasses the contiguity verification (tests).
 	SkipSpoilerCheck bool
+	// Workers caps the fan-out of the parallel templating engine; 0 (the
+	// default) uses tensor.MaxWorkers(). Output is byte-identical at any
+	// worker count.
+	Workers int
+}
+
+// workerCount resolves the effective fan-out.
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return tensor.MaxWorkers()
+}
+
+// ensurePages grows the victim/aggressor page indexes through buffer
+// page n−1.
+func (p *Profile) ensurePages(n int) {
+	for len(p.victimIdx) < n {
+		p.victimIdx = append(p.victimIdx, -1)
+	}
+	for len(p.aggressorBits) < (n+63)/64 {
+		p.aggressorBits = append(p.aggressorBits, 0)
+	}
+}
+
+func (p *Profile) setVictimPage(page, row, half int) {
+	p.ensurePages(page + 1)
+	p.victimIdx[page] = int32(row*2 + half)
+}
+
+// victimPageAt returns the (row, half) a buffer page was profiled as.
+func (p *Profile) victimPageAt(page int) (int, int, bool) {
+	if page < 0 || page >= len(p.victimIdx) || p.victimIdx[page] < 0 {
+		return 0, 0, false
+	}
+	v := p.victimIdx[page]
+	return int(v / 2), int(v % 2), true
+}
+
+func (p *Profile) setAggressorPage(page int) {
+	p.ensurePages(page + 1)
+	p.aggressorBits[page>>6] |= 1 << (uint(page) & 63)
 }
 
 // ProfileBuffer templates the attacker buffer: it verifies physical
@@ -132,11 +177,10 @@ func ProfileBuffer(sys *memsys.System, attacker *memsys.Process, bufBase, bufPag
 	}
 
 	p := &Profile{
-		BufBase:        bufBase,
-		BufPages:       bufPages,
-		aggressorPages: make(map[int]bool),
-		victimPages:    make(map[int][2]int),
+		BufBase:  bufBase,
+		BufPages: bufPages,
 	}
+	p.ensurePages(bufPages)
 
 	// Build the experiment list in the engine's canonical order: clusters
 	// in discovery order, victims ascending within each cluster. Each
@@ -147,8 +191,30 @@ func ProfileBuffer(sys *memsys.System, attacker *memsys.Process, bufBase, bufPag
 	if cfg.Sides > 2 {
 		phases = 2
 	}
-	var exps []experiment
+	// Pre-size the experiment list, phase lists and row storage from the
+	// cluster shapes: a 4M-page sweep holds ~2M experiments, and letting
+	// append regrow those multi-hundred-MB slices would spend more time
+	// zeroing fresh backing arrays than hammering.
+	nExp, victimsPer := 0, 1
+	if cfg.Sides > 2 {
+		victimsPer = cfg.Sides - 1
+	}
+	for _, cluster := range clusters {
+		if len(cluster) < 3 {
+			continue
+		}
+		if cfg.Sides == 2 {
+			nExp += len(cluster) - 2
+		} else if window := 2*cfg.Sides - 1; len(cluster) >= window {
+			nExp += (len(cluster)-window)/(window-1) + 1
+		}
+	}
+	exps := make([]experiment, 0, nExp)
 	phaseLists := make([][]int, phases)
+	for i := range phaseLists {
+		phaseLists[i] = make([]int, 0, nExp/phases+1)
+	}
+	p.Rows = make([]VictimRow, 0, nExp*victimsPer)
 	for _, cluster := range clusters {
 		sort.Ints(cluster) // ascending virtual = ascending row within bank
 		if len(cluster) < 3 {
@@ -176,7 +242,7 @@ func ProfileBuffer(sys *memsys.System, attacker *memsys.Process, bufBase, bufPag
 		}
 	}
 
-	workers := tensor.MaxWorkers()
+	workers := cfg.workerCount()
 	for _, list := range phaseLists {
 		list := list
 		tensor.ParallelChunks(len(list), workers, func(lo, hi int) {
@@ -203,14 +269,14 @@ func ProfileBuffer(sys *memsys.System, attacker *memsys.Process, bufBase, bufPag
 			idx := len(p.Rows)
 			p.Rows = append(p.Rows, r)
 			for half := 0; half < 2; half++ {
-				p.victimPages[r.Pages[half].BufferPage] = [2]int{idx, half}
+				p.setVictimPage(r.Pages[half].BufferPage, idx, half)
 			}
 		}
 		if len(rows) > 0 {
 			for _, ac := range rows[0].AggressorVaddrs {
 				base := (ac - bufBase) / memsys.PageSize
-				p.aggressorPages[base] = true
-				p.aggressorPages[base+1] = true
+				p.setAggressorPage(base)
+				p.setAggressorPage(base + 1)
 			}
 		}
 	}
@@ -241,15 +307,8 @@ type experiment struct {
 	err     error
 }
 
-// fillPattern holds the two polarity source pages (0x00 and 0xFF),
-// shared read-only by every fill.
-var fillPattern [2][memsys.PageSize]byte
-
-func init() {
-	for i := range fillPattern[1] {
-		fillPattern[1][i] = 0xFF
-	}
-}
+// polarityBytes are the two fill polarities every experiment runs.
+var polarityBytes = [2]byte{0x00, 0xFF}
 
 // expScratch is the per-worker reusable scratch of the experiment loop:
 // one page of readback, the aggressor row translation buffer, the
@@ -268,12 +327,13 @@ var scratchPool = sync.Pool{New: func() any {
 	return &expScratch{buf: make([]byte, memsys.PageSize)}
 }}
 
-// fillChunk writes the pattern page over both halves of an 8 KB chunk.
-func fillChunk(p *memsys.Process, vaddr int, pat *[memsys.PageSize]byte) error {
-	if err := p.Write(vaddr, pat[:]); err != nil {
+// fillChunk sets both halves of an 8 KB chunk to the polarity byte —
+// two O(1) constant-page demotes on a sparse module, no 4 KB streaming.
+func fillChunk(p *memsys.Process, vaddr int, v byte) error {
+	if err := p.FillPage(vaddr, v); err != nil {
 		return err
 	}
-	return p.Write(vaddr+memsys.PageSize, pat[:])
+	return p.FillPage(vaddr+memsys.PageSize, v)
 }
 
 // runExperiment executes one hammer experiment and returns the profiled
@@ -304,14 +364,14 @@ func runExperiment(sys *memsys.System, attacker *memsys.Process, bufBase int, cl
 	sc.segs = sc.segs[:nv]
 	sc.flips = sc.flips[:0]
 
-	for pi, polarity := range [2]byte{0x00, 0xFF} {
+	for pi, polarity := range polarityBytes {
 		for _, vc := range sc.victims {
-			if err := fillChunk(attacker, vc, &fillPattern[pi]); err != nil {
+			if err := fillChunk(attacker, vc, polarity); err != nil {
 				return nil, fmt.Errorf("profile: fill victim: %w", err)
 			}
 		}
 		for _, ac := range sc.aggrs {
-			if err := fillChunk(attacker, ac, &fillPattern[1-pi]); err != nil {
+			if err := fillChunk(attacker, ac, polarityBytes[1-pi]); err != nil {
 				return nil, fmt.Errorf("profile: fill aggressor: %w", err)
 			}
 		}
@@ -319,35 +379,42 @@ func runExperiment(sys *memsys.System, attacker *memsys.Process, bufBase int, cl
 			return nil, err
 		}
 		dir := dram.ZeroToOne
-		polWord := uint64(0)
 		if polarity == 0xFF {
 			dir = dram.OneToZero
-			polWord = ^uint64(0)
 		}
-		// Scan victims for flipped bits, eight bytes at a stride: clean
-		// words (the overwhelming majority) cost one comparison.
+		// Scan victims for flipped bits. A page still in constant state
+		// at its fill polarity provably holds zero flips and is skipped
+		// without touching memory (the usual case: hammering materializes
+		// only pages that actually flipped). Materialized pages are read
+		// back and scanned with the vectorized mismatch kernel — a clean
+		// 4 KB page costs ~128 AVX2 compares.
 		for vi, vc := range sc.victims {
 			for half := 0; half < 2; half++ {
-				if err := attacker.ReadInto(vc+half*memsys.PageSize, sc.buf); err != nil {
+				start := len(sc.flips)
+				va := vc + half*memsys.PageSize
+				if c, constant, err := attacker.PageConstantAt(va); err != nil {
+					return nil, err
+				} else if constant && c == polarity {
+					sc.segs[vi][half][pi] = [2]int{start, start}
+					continue
+				}
+				if err := attacker.ReadInto(va, sc.buf); err != nil {
 					return nil, err
 				}
-				start := len(sc.flips)
-				for off := 0; off < memsys.PageSize; off += 8 {
-					if binary.LittleEndian.Uint64(sc.buf[off:off+8]) == polWord {
-						continue
+				for off := 0; off < memsys.PageSize; {
+					i := tensor.IndexMismatchByte(sc.buf[off:], polarity)
+					if i < 0 {
+						break
 					}
-					for j := off; j < off+8; j++ {
-						diff := sc.buf[j] ^ polarity
-						if diff == 0 {
+					j := off + i
+					diff := sc.buf[j] ^ polarity
+					for bit := 0; bit < 8; bit++ {
+						if diff&(1<<bit) == 0 {
 							continue
 						}
-						for bit := 0; bit < 8; bit++ {
-							if diff&(1<<bit) == 0 {
-								continue
-							}
-							sc.flips = append(sc.flips, CellFlip{Offset: j, Bit: bit, Dir: dir})
-						}
+						sc.flips = append(sc.flips, CellFlip{Offset: j, Bit: bit, Dir: dir})
 					}
+					off = j + 1
 				}
 				sc.segs[vi][half][pi] = [2]int{start, len(sc.flips)}
 			}
@@ -445,21 +512,26 @@ func (p *Profile) VictimPageCount() int { return 2 * len(p.Rows) }
 // outside every hammered victim row and outside those rows' aggressor
 // rows. usedRows marks Profile.Rows indices the online plan hammers.
 func (p *Profile) BaitPages(usedRows map[int]bool) []int {
-	excluded := make(map[int]bool)
+	excluded := make([]uint64, (p.BufPages+63)/64)
+	mark := func(page int) {
+		if page >= 0 && page < p.BufPages {
+			excluded[page>>6] |= 1 << (uint(page) & 63)
+		}
+	}
 	for ri := range usedRows {
 		if !usedRows[ri] {
 			continue
 		}
 		for half := 0; half < 2; half++ {
-			excluded[p.Rows[ri].Pages[half].BufferPage] = true
+			mark(p.Rows[ri].Pages[half].BufferPage)
 		}
 		for _, ap := range aggressorBufferPages(p, ri) {
-			excluded[ap] = true
+			mark(ap)
 		}
 	}
 	var out []int
 	for page := 0; page < p.BufPages; page++ {
-		if !excluded[page] {
+		if excluded[page>>6]&(1<<(uint(page)&63)) == 0 {
 			out = append(out, page)
 		}
 	}

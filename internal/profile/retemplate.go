@@ -27,16 +27,19 @@ func ExtendProfile(sys *memsys.System, attacker *memsys.Process, p *Profile, ext
 		return fmt.Errorf("profile: extension templating: %w", err)
 	}
 	off := p.BufPages
+	p.ensurePages(p.BufPages + extPages)
 	for _, r := range ext.Rows {
 		idx := len(p.Rows)
 		for half := 0; half < 2; half++ {
 			r.Pages[half].BufferPage += off
-			p.victimPages[r.Pages[half].BufferPage] = [2]int{idx, half}
+			p.setVictimPage(r.Pages[half].BufferPage, idx, half)
 		}
 		p.Rows = append(p.Rows, r)
 	}
-	for pg := range ext.aggressorPages {
-		p.aggressorPages[pg+off] = true
+	for pg := 0; pg < ext.BufPages; pg++ {
+		if ext.aggressorBits[pg>>6]&(1<<(uint(pg)&63)) != 0 {
+			p.setAggressorPage(pg + off)
+		}
 	}
 	p.BufPages += extPages
 	return nil
@@ -62,14 +65,14 @@ func ReprofileUnion(sys *memsys.System, attacker *memsys.Process, p *Profile, cf
 	}
 	added := 0
 	for _, r := range fresh.Rows {
-		loc, known := p.victimPages[r.Pages[0].BufferPage]
-		loc1, known1 := p.victimPages[r.Pages[1].BufferPage]
-		if known && known1 && loc[0] == loc1[0] && loc[1] == 0 && loc1[1] == 1 {
+		row0, half0, known := p.victimPageAt(r.Pages[0].BufferPage)
+		row1, half1, known1 := p.victimPageAt(r.Pages[1].BufferPage)
+		if known && known1 && row0 == row1 && half0 == 0 && half1 == 1 {
 			// Same victim row as an existing one: union the templates,
 			// keep the recorded aggressors (any cell that fires under the
 			// re-sweep's aggressors fires under the recorded sandwich too —
 			// both deliver the same full-intensity disturbance).
-			ri := loc[0]
+			ri := row0
 			for half := 0; half < 2; half++ {
 				have := &p.Rows[ri].Pages[half]
 				for _, f := range r.Pages[half].Flips {
@@ -85,13 +88,15 @@ func ReprofileUnion(sys *memsys.System, attacker *memsys.Process, p *Profile, cf
 		// A victim row the original sweeps never covered: append it.
 		idx := len(p.Rows)
 		for half := 0; half < 2; half++ {
-			p.victimPages[r.Pages[half].BufferPage] = [2]int{idx, half}
+			p.setVictimPage(r.Pages[half].BufferPage, idx, half)
 			added += len(r.Pages[half].Flips)
 		}
 		p.Rows = append(p.Rows, r)
 	}
-	for pg := range fresh.aggressorPages {
-		p.aggressorPages[pg] = true
+	for pg := 0; pg < fresh.BufPages; pg++ {
+		if fresh.aggressorBits[pg>>6]&(1<<(uint(pg)&63)) != 0 {
+			p.setAggressorPage(pg)
+		}
 	}
 	return added, nil
 }

@@ -39,8 +39,9 @@ func handProfile() *Profile {
 				Intensity:       1,
 			},
 		},
-		aggressorPages: map[int]bool{},
-		victimPages:    map[int][2]int{2: {0, 0}, 3: {0, 1}, 4: {1, 0}, 5: {1, 1}},
+	}
+	for page, rh := range map[int][2]int{2: {0, 0}, 3: {0, 1}, 4: {1, 0}, 5: {1, 1}} {
+		p.setVictimPage(page, rh[0], rh[1])
 	}
 	return p
 }

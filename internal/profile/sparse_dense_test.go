@@ -1,0 +1,159 @@
+package profile
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/tensor"
+)
+
+// profileOn runs ProfileBuffer on a fresh system whose module storage
+// mode and worker count are chosen by the caller. Every run starts from
+// identical state (hammering mutates memory).
+func profileOn(t *testing.T, dense bool, workers, bufPages int, cfg Config) *Profile {
+	t.Helper()
+	prev := tensor.SetMaxWorkers(workers)
+	defer tensor.SetMaxWorkers(prev)
+	geom := dram.GeometryForSize(bufPages*memsys.PageSize+(8<<20), 16)
+	var mod *dram.Module
+	var err error
+	if dense {
+		mod, err = dram.NewDenseModule(geom, dram.PaperDDR3(), 42)
+	} else {
+		mod, err = dram.NewModule(geom, dram.PaperDDR3(), 42)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := memsys.NewSystem(mod)
+	attacker := sys.NewProcess()
+	base, err := attacker.Mmap(bufPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ProfileBuffer(sys, attacker, base, bufPages, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestProfileSparseDenseIdentity pins the tentpole contract at the
+// engine level: profiling a sparse module — constant-page fills, scan
+// skips, copy-on-hammer materialization — yields a profile
+// byte-identical to the dense oracle's, at every worker count.
+func TestProfileSparseDenseIdentity(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"doubleSided", Config{Sides: 2, Intensity: 1, MeasureSeed: 5, SkipSpoilerCheck: true}},
+		{"nSided7", Config{Sides: 7, Intensity: 1, MeasureSeed: 5, SkipSpoilerCheck: true}},
+	}
+	const bufPages = 1024
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := profileOn(t, true, 1, bufPages, tc.cfg)
+			if len(ref.Rows) == 0 || ref.TotalFlips() == 0 {
+				t.Fatalf("dense reference profile is empty (%d rows, %d flips)", len(ref.Rows), ref.TotalFlips())
+			}
+			for _, w := range []int{1, 2, 4} {
+				got := profileOn(t, false, w, bufPages, tc.cfg)
+				if !reflect.DeepEqual(ref, got) {
+					t.Fatalf("sparse profile at %d workers differs from dense reference (rows %d vs %d, flips %d vs %d)",
+						w, len(got.Rows), len(ref.Rows), got.TotalFlips(), ref.TotalFlips())
+				}
+			}
+		})
+	}
+}
+
+// sweepSystems builds n independent module+attacker targets with
+// distinct seeds, all freshly mapped.
+func sweepSystems(t *testing.T, n, bufPages int) []SweepTarget {
+	t.Helper()
+	targets := make([]SweepTarget, n)
+	for i := range targets {
+		mod, err := dram.NewModuleForSize(bufPages*memsys.PageSize+(8<<20), dram.PaperDDR3(), int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := memsys.NewSystem(mod)
+		attacker := sys.NewProcess()
+		base, err := attacker.Mmap(bufPages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets[i] = SweepTarget{Sys: sys, Attacker: attacker, BufBase: base, BufPages: bufPages}
+	}
+	return targets
+}
+
+// TestProfileSweepDeterminism: the module-sharded sweep returns, at any
+// worker count, exactly the profiles that sequential per-target
+// ProfileBuffer calls produce, in canonical target order.
+func TestProfileSweepDeterminism(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prevProcs)
+	cfg := Config{Sides: 2, Intensity: 1, MeasureSeed: 9, SkipSpoilerCheck: true}
+	const nTargets, bufPages = 3, 512
+
+	// Sequential reference: one ProfileBuffer per fresh target.
+	var ref []*Profile
+	for _, tgt := range sweepSystems(t, nTargets, bufPages) {
+		p, err := ProfileBuffer(tgt.Sys, tgt.Attacker, tgt.BufBase, tgt.BufPages, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, p)
+	}
+	if ref[0].TotalFlips() == 0 {
+		t.Fatal("reference sweep found no flips; test is vacuous")
+	}
+
+	for _, w := range []int{1, 2, 4} {
+		prev := tensor.SetMaxWorkers(w)
+		got, err := ProfileSweep(sweepSystems(t, nTargets, bufPages), cfg)
+		tensor.SetMaxWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != nTargets {
+			t.Fatalf("sweep returned %d profiles, want %d", len(got), nTargets)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(ref[i], got[i]) {
+				t.Fatalf("sweep at %d workers: target %d differs from sequential reference", w, i)
+			}
+		}
+	}
+}
+
+// TestProfileSweepSurfacesCanonicalError: a failing target reports its
+// own index regardless of scheduling.
+func TestProfileSweepSurfacesCanonicalError(t *testing.T) {
+	targets := sweepSystems(t, 2, 512)
+	targets[1].BufPages = 511 // odd page count → validation error
+	_, err := ProfileSweep(targets, Config{Sides: 2, Intensity: 1, SkipSpoilerCheck: true})
+	if err == nil {
+		t.Fatal("sweep with an invalid target succeeded")
+	}
+	if want := "sweep target 1"; !containsStr(err.Error(), want) {
+		t.Fatalf("error %q does not name the failing target (%q)", err, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

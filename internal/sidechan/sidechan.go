@@ -239,9 +239,26 @@ func DetectContiguousRuns(timings []float64, alias int) []Run {
 // sameBankAt is the batch-indexed twin of SameBank: the median of 7
 // trials whose noise is keyed by the (chunk index, representative
 // index) pair being compared, not by issue order.
+//
+// The per-trial noise is hard-bounded: gaussFrom returns an Irwin–Hall
+// variate in (−3, 3), scaled here by 8 cycles. Whenever the conflict
+// mean sits farther than that 24-cycle bound from the vote threshold —
+// always true for the current 100-cycle conflict margin — no trial, and
+// hence no median, can cross the threshold, so the vote is returned
+// without drawing. The draws are pure functions of (i, rep, trial) with
+// no other consumer, so skipping them is bit-identical; clustering a
+// multi-GB buffer drops ~10⁸ gaussian draws this way.
 func (m *Measurer) sameBankAt(locs []dram.Loc, i, rep int) bool {
 	const trials = 7
+	const noiseBound = 3 * 8
+	const threshold = (BaseCycles + ConflictCycles) / 2
 	mean := conflictMean(locs[i], locs[rep])
+	if mean-noiseBound > threshold {
+		return true
+	}
+	if mean+noiseBound <= threshold {
+		return false
+	}
 	base := m.keyBase(streamCluster, uint64(i), uint64(rep))
 	var ts [trials]float64
 	for t := 0; t < trials; t++ {

@@ -1,0 +1,86 @@
+// AVX2 byte-scan and byte-fill kernels (bytes.go). Selected at runtime
+// by bytes_amd64.go behind the same CPUID gate as the GEMM kernels.
+
+#include "textflag.h"
+
+// func indexMismatchAsm(p *byte, n int, v byte) int
+//
+// Returns the index of the first byte of p[0:n] that differs from v,
+// or -1. Main loop compares 32 bytes per iteration (VPCMPEQB +
+// VPMOVMSKB); a clean lane costs one compare-and-branch. The first
+// dirty lane resolves the byte index with BSF on the inverted mask.
+TEXT ·indexMismatchAsm(SB), NOSPLIT, $0-32
+	MOVQ    p+0(FP), SI
+	MOVQ    n+8(FP), CX
+	MOVBQZX v+16(FP), AX
+	MOVQ    AX, X0
+	VPBROADCASTB X0, Y0
+	XORQ    DX, DX          // running offset
+
+loop32:
+	LEAQ 32(DX), BX
+	CMPQ BX, CX
+	JGT  tail
+	VMOVDQU (SI)(DX*1), Y1
+	VPCMPEQB Y0, Y1, Y1
+	VPMOVMSKB Y1, BX
+	XORL $-1, BX            // 1-bits now mark mismatches
+	JNZ  found32
+	ADDQ $32, DX
+	JMP  loop32
+
+found32:
+	BSFL BX, BX
+	LEAQ (DX)(BX*1), AX
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+tail:
+	CMPQ DX, CX
+	JGE  clean
+	MOVBQZX (SI)(DX*1), BX
+	CMPB BL, AL
+	JNE  foundtail
+	INCQ DX
+	JMP  tail
+
+foundtail:
+	VZEROUPPER
+	MOVQ DX, ret+24(FP)
+	RET
+
+clean:
+	VZEROUPPER
+	MOVQ $-1, ret+24(FP)
+	RET
+
+// func fillBytesAsm(p *byte, n int, v byte)
+//
+// Overwrites p[0:n] with v, 32 bytes per store in the main loop.
+TEXT ·fillBytesAsm(SB), NOSPLIT, $0-17
+	MOVQ    p+0(FP), SI
+	MOVQ    n+8(FP), CX
+	MOVBQZX v+16(FP), AX
+	MOVQ    AX, X0
+	VPBROADCASTB X0, Y0
+	XORQ    DX, DX
+
+floop32:
+	LEAQ 32(DX), BX
+	CMPQ BX, CX
+	JGT  ftail
+	VMOVDQU Y0, (SI)(DX*1)
+	ADDQ $32, DX
+	JMP  floop32
+
+ftail:
+	CMPQ DX, CX
+	JGE  fdone
+	MOVB AL, (SI)(DX*1)
+	INCQ DX
+	JMP  ftail
+
+fdone:
+	VZEROUPPER
+	RET
