@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test-short test-race bench-kernels bench-eval bench-train bench-online bench-module vet
+.PHONY: build test-short test-race bench-kernels bench-eval bench-train bench-online bench-module bench-campaign check-bench vet
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test-short:
 ## templating engine: profile, sidechan, memsys, and the fault-injection
 ## pass counters in internal/dram).
 test-race:
-	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/core ./internal/profile ./internal/sidechan ./internal/memsys ./internal/dram
+	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/core ./internal/profile ./internal/sidechan ./internal/memsys ./internal/dram ./internal/campaign
 
 ## bench-kernels: blocked-GEMM and conv hot-path benchmarks with
 ## allocation counts. Naive twins run alongside for the speedup ratio.
@@ -60,8 +60,26 @@ bench-module:
 		-pkg ./internal/dram,./internal/memsys,./internal/profile -benchtime 1x \
 		-merge BENCH_module_baseline.json -o BENCH_module.json
 
+## bench-campaign: fleet campaign-engine benchmarks — the 16-campaign /
+## 4-SKU sweep as a serial loop, pipelined at 1/2/4 workers, and
+## pipelined with the cross-campaign profile cache — merged with the
+## committed serial baseline (BENCH_campaign_baseline.json) into
+## BENCH_campaign.json.
+bench-campaign:
+	$(GO) run ./cmd/benchjson -bench 'FleetSweep/Pipelined' \
+		-pkg ./internal/campaign -benchtime 1x \
+		-merge BENCH_campaign_baseline.json -o BENCH_campaign.json
+
+## check-bench: validate every committed benchjson report against the
+## schema (strict fields, non-empty, sane values) and its *_baseline.json
+## — fails on perf-history drift such as renamed or dropped benchmarks.
+check-bench:
+	$(GO) run ./cmd/benchjson -check BENCH_*.json
+
 ## vet: static checks plus a cross-compile of the portable (non-AVX2)
-## code paths — the asm files are amd64-gated, so arm64 must build pure Go.
-vet:
+## code paths — the asm files are amd64-gated, so arm64 must build pure Go —
+## plus the committed-benchmark schema check and the race suite over the
+## concurrent engines.
+vet: check-bench test-race
 	$(GO) vet ./...
 	GOARCH=arm64 $(GO) build ./...

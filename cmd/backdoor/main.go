@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"rowhammer"
 )
@@ -39,6 +40,10 @@ func run() error {
 	flipfail := flag.Float64("flipfail", 0, "per-pass weak-cell flip failure probability")
 	jitter := flag.Float64("jitter", 0, "TRR-escape disturbance jitter amplitude")
 	faultseed := flag.Int64("faultseed", 0, "fault-stream seed (0 = 1 when faults enabled)")
+	fleet := flag.Int("fleet", 0, "fleet mode: attack N modules concurrently (0 = single module)")
+	fleetDevices := flag.String("fleet-devices", "", "comma-separated Table I device names cycled across the fleet (empty = -device for all)")
+	fleetWorkers := flag.Int("fleet-workers", 2, "concurrent campaign slots in fleet mode")
+	fleetArenaMB := flag.Int("fleet-arena-mb", 0, "cap on estimated in-flight DRAM state in MB (0 = unbounded)")
 	flag.Parse()
 
 	fmt.Printf("[1/4] training clean %s (width %.2f)…\n", *arch, *width)
@@ -61,12 +66,17 @@ func run() error {
 	offTA, offASR := off.OfflineMetrics()
 	fmt.Printf("      %d bit flips, offline TA %.2f%%, ASR %.2f%%\n", off.NFlip, 100*offTA, 100*offASR)
 
-	fmt.Printf("[3/4] online phase: template → massage → hammer…\n")
-	on, err := rowhammer.HammerOnline(victim, off, rowhammer.HardwareConfig{
+	hw := rowhammer.HardwareConfig{
 		Device: *device, Sides: *sides, Seed: *seed,
 		Rounds: *rounds, Escalation: *escalate, RetemplatePasses: *retemplate,
 		FlipFailProb: *flipfail, TRRJitter: *jitter, FaultSeed: *faultseed,
-	})
+	}
+	if *fleet > 0 {
+		return runFleet(victim, off, hw, *fleet, *fleetDevices, *fleetWorkers, *fleetArenaMB)
+	}
+
+	fmt.Printf("[3/4] online phase: template → massage → hammer…\n")
+	on, err := rowhammer.HammerOnline(victim, off, hw)
 	if err != nil {
 		return err
 	}
@@ -92,5 +102,62 @@ func run() error {
 	fmt.Printf("online  TA / ASR: %6.2f%% / %6.2f%%\n", 100*rep.OnlineTA, 100*rep.OnlineASR)
 	fmt.Printf("N_flip offline/online: %d / %d, r_match %.2f%%\n",
 		rep.NFlipOffline, rep.NFlipOnline, rep.RMatch)
+	return nil
+}
+
+// runFleet attacks n modules concurrently, cycling the optional device
+// list, streaming each campaign's outcome as it lands and closing with
+// the aggregate plus the deployed metrics of the first campaign.
+func runFleet(victim *rowhammer.Victim, off *rowhammer.Offline, hw rowhammer.HardwareConfig,
+	n int, devices string, workers, arenaMB int) error {
+	devs := []string{hw.Device}
+	if devices != "" {
+		devs = strings.Split(devices, ",")
+	}
+	modules := make([]rowhammer.FleetModule, n)
+	for i := range modules {
+		mhw := hw
+		mhw.Device = strings.TrimSpace(devs[i%len(devs)])
+		modules[i] = rowhammer.FleetModule{
+			Name:     fmt.Sprintf("campaign-%d", i),
+			Hardware: mhw,
+		}
+	}
+
+	fmt.Printf("[3/4] fleet online phase: %d campaigns, %d workers…\n", n, workers)
+	sum, err := rowhammer.RunFleet(victim, off, modules, rowhammer.FleetConfig{
+		Workers:    workers,
+		MaxArenaMB: arenaMB,
+		OnReport: func(r rowhammer.FleetReport) {
+			if r.Err != nil {
+				fmt.Printf("      %-12s %-10s FAILED: %v\n", r.Name, r.SKU, r.Err)
+				return
+			}
+			tag := "cold"
+			if r.CacheHit {
+				tag = "cache-hit"
+			}
+			fmt.Printf("      %-12s %-10s %-9s %d/%d flips landed, r_match %.2f%%\n",
+				r.Name, r.SKU, tag, r.Online.Matched, r.Online.Required, r.Online.RMatch)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("      fleet: %d campaigns, %d cache hits, %d failed, mean r_match %.2f%%\n",
+		len(sum.Reports), sum.CacheHits, sum.Failed, sum.MeanRMatch)
+
+	for _, r := range sum.Reports {
+		if r.Err != nil {
+			continue
+		}
+		fmt.Printf("[4/4] evaluating deployed model of %s…\n", r.Name)
+		rep, err := rowhammer.Evaluate(victim, off, r.Online)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("      online TA %.2f%%, ASR %.2f%%\n", 100*rep.OnlineTA, 100*rep.OnlineASR)
+		break
+	}
 	return nil
 }

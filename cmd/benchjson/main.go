@@ -1,5 +1,5 @@
 // Command benchjson produces machine-readable JSON reports from
-// `go test -bench` output. It has two modes:
+// `go test -bench` output. It has three modes:
 //
 //   - Filter mode (default): parse benchmark output on stdin.
 //
@@ -11,10 +11,20 @@
 //
 //     go run ./cmd/benchjson -bench 'TrainStep|OfflineAttack' -pkg ./internal/core -o BENCH_train.json
 //     go run ./cmd/benchjson -bench TrainStep -pkg ./internal/core -cpuprofile cpu.out
+//
+//   - Check mode (-check): validate committed reports against the
+//     schema and their baselines, exiting non-zero on drift. For every
+//     argument file FOO.json that has a sibling FOO_baseline.json, the
+//     baseline's benchmark names must appear in the report — a renamed
+//     or dropped benchmark fails the check instead of silently breaking
+//     the committed perf history.
+//
+//     go run ./cmd/benchjson -check BENCH_*.json
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -85,6 +95,86 @@ func parseLine(line string) (Entry, bool) {
 	return e, seen
 }
 
+// loadReport reads a benchjson report strictly: unknown fields, trailing
+// garbage, an empty benchmark list, or malformed entries are all errors.
+// The strictness is the point — these files are committed perf history,
+// and a silently tolerated schema drift corrupts every later comparison.
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if dec.More() {
+		return Report{}, fmt.Errorf("%s: trailing data after report object", path)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return Report{}, fmt.Errorf("%s: no benchmark entries", path)
+	}
+	for i, e := range rep.Benchmarks {
+		if e.Name == "" {
+			return Report{}, fmt.Errorf("%s: entry %d has no name", path, i)
+		}
+		if e.Iterations <= 0 {
+			return Report{}, fmt.Errorf("%s: %s: iterations %d", path, e.Name, e.Iterations)
+		}
+		if e.NsPerOp <= 0 {
+			return Report{}, fmt.Errorf("%s: %s: ns_per_op %v", path, e.Name, e.NsPerOp)
+		}
+	}
+	return rep, nil
+}
+
+// baselinePath returns the sibling baseline report for a committed
+// report ("BENCH_x.json" → "BENCH_x_baseline.json").
+func baselinePath(path string) string {
+	return strings.TrimSuffix(path, ".json") + "_baseline.json"
+}
+
+// runCheck validates every report and, where a sibling baseline exists,
+// asserts the baseline's benchmark names survive in the report.
+func runCheck(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-check needs report files as arguments")
+	}
+	for _, path := range paths {
+		rep, err := loadReport(path)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(strings.TrimSuffix(path, ".json"), "_baseline") {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: ok (%d entries, baseline)\n", path, len(rep.Benchmarks))
+			continue
+		}
+		bp := baselinePath(path)
+		if _, err := os.Stat(bp); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: ok (%d entries, no baseline)\n", path, len(rep.Benchmarks))
+			continue
+		}
+		base, err := loadReport(bp)
+		if err != nil {
+			return err
+		}
+		names := make(map[string]bool, len(rep.Benchmarks))
+		for _, e := range rep.Benchmarks {
+			names[e.Name] = true
+		}
+		for _, e := range base.Benchmarks {
+			if !names[e.Name] {
+				return fmt.Errorf("%s: baseline benchmark %q missing from report (perf history drift)", path, e.Name)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s: ok (%d entries, %d baseline names covered)\n",
+			path, len(rep.Benchmarks), len(base.Benchmarks))
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	bench := flag.String("bench", "", "benchmark pattern; when set, run `go test -bench` instead of reading stdin")
@@ -92,7 +182,16 @@ func main() {
 	benchtime := flag.String("benchtime", "", "passed through to go test (e.g. 1x, 3s)")
 	cpuprofile := flag.String("cpuprofile", "", "passed through to go test; requires a single -pkg package")
 	merge := flag.String("merge", "", "existing benchjson report whose entries are prepended to the output (e.g. a committed pre-optimization baseline)")
+	check := flag.Bool("check", false, "validate the argument reports against the schema and their *_baseline.json files, then exit")
 	flag.Parse()
+
+	if *check {
+		if err := runCheck(flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -check:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	var cmd *exec.Cmd
@@ -156,13 +255,10 @@ func main() {
 		os.Exit(1)
 	}
 	if *merge != "" {
-		prev, err := os.ReadFile(*merge)
+		// A missing, malformed, or empty baseline would silently produce a
+		// report without its pre-optimization reference — fail loudly.
+		base, err := loadReport(*merge)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson: -merge:", err)
-			os.Exit(1)
-		}
-		var base Report
-		if err := json.Unmarshal(prev, &base); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: -merge:", err)
 			os.Exit(1)
 		}

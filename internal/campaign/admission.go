@@ -1,0 +1,85 @@
+package campaign
+
+import "sync"
+
+// byteSem is the admission controller: a FIFO weighted semaphore over
+// estimated in-flight module-arena bytes. It bounds how much DRAM
+// simulation state the fleet keeps resident at once, independently of
+// the worker count — the knob that keeps a 4-worker sweep of multi-GB
+// modules from quadrupling peak RSS.
+type byteSem struct {
+	mu       sync.Mutex
+	capacity int64 // 0 = unbounded
+	used     int64
+	peak     int64
+	waiters  []*byteWaiter
+}
+
+type byteWaiter struct {
+	n  int64
+	ch chan struct{}
+}
+
+func newByteSem(capacity int64) *byteSem {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &byteSem{capacity: capacity}
+}
+
+// acquire blocks until n bytes fit under the cap and returns the amount
+// actually reserved — n clamped to the cap, so a single oversized
+// campaign still admits (alone) instead of deadlocking. Waiters are
+// served strictly first-come-first-served; a small request never jumps
+// a large one, so admission order is starvation-free.
+func (s *byteSem) acquire(n int64) int64 {
+	if n < 0 {
+		n = 0
+	}
+	s.mu.Lock()
+	if s.capacity > 0 && n > s.capacity {
+		n = s.capacity
+	}
+	if len(s.waiters) == 0 && (s.capacity == 0 || s.used+n <= s.capacity) {
+		s.grant(n)
+		s.mu.Unlock()
+		return n
+	}
+	w := &byteWaiter{n: n, ch: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	<-w.ch
+	return n
+}
+
+// grant books a reservation; callers hold s.mu.
+func (s *byteSem) grant(n int64) {
+	s.used += n
+	if s.used > s.peak {
+		s.peak = s.used
+	}
+}
+
+// release returns a reservation and admits queued waiters in order
+// while they fit.
+func (s *byteSem) release(n int64) {
+	s.mu.Lock()
+	s.used -= n
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if s.capacity > 0 && s.used+w.n > s.capacity {
+			break
+		}
+		s.grant(w.n)
+		s.waiters = s.waiters[1:]
+		close(w.ch)
+	}
+	s.mu.Unlock()
+}
+
+// peakReserved reports the high-water reservation mark.
+func (s *byteSem) peakReserved() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
+}

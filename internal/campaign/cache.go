@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"sync"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/profile"
+)
+
+// profileKey is the content address of a flip template: every input
+// that determines the profiled inventory, and nothing else. Two
+// campaigns with equal keys would compute bit-identical templates, so
+// the cache may hand the second one the first one's profile.
+type profileKey struct {
+	geom        dram.Geometry
+	device      dram.DeviceProfile
+	seed        int64
+	fault       dram.FaultModel
+	bufferPages int
+	sides       int
+	intensity   float64
+	measureSeed int64
+}
+
+// skuKey identifies a module stock-keeping unit — the (device, size)
+// class a fleet sweeps many individual modules of. Seeds and attack
+// configs vary within an SKU; the geometry and device physics do not.
+type skuKey struct {
+	device dram.DeviceProfile
+	geom   dram.Geometry
+}
+
+// cacheEntry is one in-flight or completed template. ready is closed
+// when prof/err are final; until then exactly one campaign (the leader)
+// is computing while followers wait without holding a worker slot.
+type cacheEntry struct {
+	ready chan struct{}
+	prof  *profile.Profile
+	err   error
+}
+
+// SKUPrior aggregates what past campaigns of an SKU observed. Priors
+// are strictly advisory — they size admission reservations and feed the
+// fleet summary, but never enter planning or hammering, so a campaign's
+// result is identical at any cache state.
+type SKUPrior struct {
+	// Campaigns counts finished campaigns of this SKU.
+	Campaigns int
+	// Templates counts distinct templates computed (cold misses).
+	Templates int
+	// TotalFlips sums the template flip inventories.
+	TotalFlips int64
+	// MaxArenaBytes is the largest module arena a campaign of this SKU
+	// materialized — the admission estimate for the next one.
+	MaxArenaBytes int64
+}
+
+// ProfileCache memoizes flip templates across campaigns, keyed on the
+// full module-plus-profiling identity, with single-flight deduplication
+// of concurrent misses and advisory per-SKU priors. Safe for concurrent
+// use and reusable across Run invocations (a warm fleet).
+type ProfileCache struct {
+	mu      sync.Mutex
+	entries map[profileKey]*cacheEntry
+	priors  map[skuKey]*SKUPrior
+}
+
+// NewProfileCache returns an empty cache.
+func NewProfileCache() *ProfileCache {
+	return &ProfileCache{
+		entries: make(map[profileKey]*cacheEntry),
+		priors:  make(map[skuKey]*SKUPrior),
+	}
+}
+
+// begin looks up or creates the entry for a key. The second return is
+// true for the leader — the caller that must compute the template and
+// publish it; everyone else waits on entry.ready.
+func (c *ProfileCache) begin(k profileKey) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		return e, false
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[k] = e
+	return e, true
+}
+
+// publish finalizes a leader's entry. An errored template stays cached:
+// the error is a deterministic function of the key, so every campaign
+// of that identity fails identically instead of re-templating.
+func (c *ProfileCache) publish(e *cacheEntry, prof *profile.Profile, err error) {
+	e.prof, e.err = prof, err
+	close(e.ready)
+}
+
+// Entries reports how many templates (including errored ones) the cache
+// holds.
+func (c *ProfileCache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// observe folds one finished campaign into its SKU prior.
+func (c *ProfileCache) observe(k skuKey, cold bool, flips int, arena int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.priors[k]
+	if p == nil {
+		p = &SKUPrior{}
+		c.priors[k] = p
+	}
+	p.Campaigns++
+	if cold {
+		p.Templates++
+		p.TotalFlips += int64(flips)
+	}
+	if arena > p.MaxArenaBytes {
+		p.MaxArenaBytes = arena
+	}
+}
+
+// Prior returns a copy of the SKU's accumulated prior (zero value when
+// the SKU has never run).
+func (c *ProfileCache) Prior(k skuKey) SKUPrior {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.priors[k]; p != nil {
+		return *p
+	}
+	return SKUPrior{}
+}

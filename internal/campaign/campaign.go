@@ -1,0 +1,438 @@
+// Package campaign is the fleet-scale attack orchestrator: it runs many
+// (victim, module, attack-config) campaigns concurrently on a bounded
+// worker pool, pipelining each campaign's offline/template/plan/online
+// stages so the online phase of one overlaps the templating of the
+// next, deduplicating template work through a content-addressed profile
+// cache, and recycling module arenas and OS-simulation bookkeeping so
+// peak memory tracks concurrency instead of fleet size.
+//
+// The engine's canonical execution of one campaign is two-staged:
+// template a pristine module of the campaign's identity, then rewind
+// the module to that same pristine identity and run the online attack
+// with the template injected (core.OnlineConfig.Profile). Because the
+// online stage always starts from a pristine module and a finished
+// template — whether the template was just computed or pulled from the
+// cache — results are byte-identical at any worker count and any cache
+// state. That invariant is what makes the cache sound, and the tests
+// assert it directly.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rowhammer/internal/core"
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/profile"
+)
+
+// ModuleSpec pins a campaign's DRAM identity: which device it is, how
+// big, which weak-cell layout, and which fault model the environment
+// imposes. Campaigns with equal specs attack physically identical
+// modules.
+type ModuleSpec struct {
+	// Device is the Table I device profile.
+	Device dram.DeviceProfile
+	// SizeBytes is the module capacity (rounded up to the 16-bank
+	// geometry NewModuleForSize uses).
+	SizeBytes int
+	// Seed keys the weak-cell layout.
+	Seed int64
+	// Fault is the fault model installed for both stages (zero value =
+	// fully deterministic module).
+	Fault dram.FaultModel
+}
+
+// geometry resolves the spec to the standard 16-bank layout.
+func (s ModuleSpec) geometry() dram.Geometry {
+	return dram.GeometryForSize(s.SizeBytes, 16)
+}
+
+// SKU names the spec's stock-keeping unit (device + capacity class).
+func (s ModuleSpec) SKU() string {
+	return fmt.Sprintf("%s/%dMB", s.Device.Name, s.SizeBytes>>20)
+}
+
+// Job is one campaign: a weight file to corrupt, the bit flips it
+// needs, the module to attack, and the online configuration.
+type Job struct {
+	// Name labels the campaign in results and streaming output.
+	Name string
+	// WeightFile is the victim's page-aligned weight file.
+	WeightFile []byte
+	// Reqs are the offline phase's per-page flip requirements.
+	Reqs []profile.PageRequirement
+	// Module is the DRAM identity under attack.
+	Module ModuleSpec
+	// Online configures the online engine. Profile must be nil — the
+	// engine owns template injection.
+	Online core.OnlineConfig
+}
+
+// profileKey derives the job's template identity.
+func (j Job) profileKey() profileKey {
+	return profileKey{
+		geom:        j.Module.geometry(),
+		device:      j.Module.Device,
+		seed:        j.Module.Seed,
+		fault:       j.Module.Fault,
+		bufferPages: j.Online.BufferPages,
+		sides:       j.Online.Sides,
+		intensity:   j.Online.Intensity,
+		measureSeed: j.Online.MeasureSeed,
+	}
+}
+
+func (j Job) skuKey() skuKey {
+	return skuKey{device: j.Module.Device, geom: j.Module.geometry()}
+}
+
+// Result is one campaign's outcome.
+type Result struct {
+	// Index is the job's position in the submitted slice; Results in a
+	// Summary are ordered by it regardless of completion order.
+	Index int
+	// Name echoes Job.Name.
+	Name string
+	// SKU echoes the module's stock-keeping unit.
+	SKU string
+	// CacheHit reports whether the campaign's template was served from
+	// the cache. It is derived from the canonical job order (the first
+	// job of each template identity is the cold one), not from
+	// scheduling, so it is deterministic at any worker count.
+	CacheHit bool
+	// ArenaBytes is the module arena high-water mark this campaign
+	// observed. Observational only: pooled modules keep their slabs, so
+	// the value depends on scheduling.
+	ArenaBytes int64
+	// Online is the attack outcome (nil when Err is set).
+	Online *core.OnlineResult
+	// Err is the campaign's failure, if any. One campaign failing does
+	// not stop the fleet.
+	Err error
+}
+
+// SKUStats aggregates the fleet's outcomes per module SKU.
+type SKUStats struct {
+	SKU       string
+	Campaigns int
+	CacheHits int
+	Failed    int
+	// NMatch/NRequired sum the per-campaign flip tallies.
+	NMatch    int
+	NRequired int
+	// MaxArenaBytes is observational (see Result.ArenaBytes).
+	MaxArenaBytes int64
+}
+
+// Summary is the fleet outcome.
+type Summary struct {
+	// Results holds every campaign in canonical (submission) order.
+	Results []Result
+	// Failed counts campaigns with Err set.
+	Failed int
+	// CacheHits counts campaigns served a cached template.
+	CacheHits int
+	// PeakReservedBytes is the admission controller's high-water mark.
+	// Observational: it depends on scheduling.
+	PeakReservedBytes int64
+	// SKUs aggregates per stock-keeping unit, sorted by SKU name.
+	SKUs []SKUStats
+}
+
+// Config controls the fleet engine.
+type Config struct {
+	// Workers bounds concurrently executing campaign stages (≤0 = 1).
+	Workers int
+	// MaxArenaBytes caps estimated in-flight module state; 0 removes
+	// the cap. Campaigns over the cap admit alone, clamped.
+	MaxArenaBytes int64
+	// Cache, when non-nil, is shared across Run invocations (a warm
+	// fleet); nil gives the run a private cache.
+	Cache *ProfileCache
+	// OnResult, when non-nil, streams each campaign's Result as it
+	// finishes (completion order, not submission order). Calls are
+	// serialized.
+	OnResult func(Result)
+}
+
+// engine is the per-Run state.
+type engine struct {
+	cache *ProfileCache
+	pool  *dram.ModulePool
+	rec   *memsys.Recycler
+	adm   *byteSem
+	slots chan struct{}
+}
+
+// templateJob profiles a pristine module of the job's identity and
+// returns the primed, shareable template. The module is left dirty;
+// callers rewind or recycle it.
+func templateJob(job Job, mod *dram.Module, rec *memsys.Recycler) (*profile.Profile, error) {
+	sys := systemFor(mod, rec)
+	sys.InjectFaults(job.Module.Fault)
+	attacker := sys.NewProcess()
+	base, err := attacker.Mmap(job.Online.BufferPages)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: attacker buffer: %w", err)
+	}
+	prof, err := profile.ProfileBuffer(sys, attacker, base, job.Online.BufferPages, profile.Config{
+		Sides:       job.Online.Sides,
+		Intensity:   job.Online.Intensity,
+		MeasureSeed: job.Online.MeasureSeed,
+	})
+	if rec != nil {
+		sys.Recycle(rec)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: templating: %w", err)
+	}
+	// Primed before sharing: planning against the template is then a
+	// pure read and any number of campaigns may plan concurrently.
+	prof.PrimeIndex()
+	return prof, nil
+}
+
+// onlineJob runs the online attack on a pristine module with the
+// template injected.
+func onlineJob(job Job, mod *dram.Module, prof *profile.Profile, rec *memsys.Recycler) (*core.OnlineResult, error) {
+	sys := systemFor(mod, rec)
+	sys.InjectFaults(job.Module.Fault)
+	cfg := job.Online
+	cfg.Profile = prof
+	res, err := core.ExecuteOnline(sys, job.WeightFile, job.Reqs, cfg)
+	if rec != nil {
+		sys.Recycle(rec)
+	}
+	return res, err
+}
+
+func systemFor(mod *dram.Module, rec *memsys.Recycler) *memsys.System {
+	if rec != nil {
+		return rec.NewSystem(mod)
+	}
+	return memsys.NewSystem(mod)
+}
+
+// validate rejects jobs the engine cannot execute canonically.
+func (j Job) validate() error {
+	if j.Online.Profile != nil {
+		return fmt.Errorf("campaign: job %q pre-sets Online.Profile; the engine owns template injection", j.Name)
+	}
+	if j.Online.BufferPages <= 0 {
+		return fmt.Errorf("campaign: job %q has no templating buffer (BufferPages = %d)", j.Name, j.Online.BufferPages)
+	}
+	if j.Module.SizeBytes <= 0 {
+		return fmt.Errorf("campaign: job %q has no module size", j.Name)
+	}
+	return nil
+}
+
+// RunCampaign executes one campaign serially with no pooling or
+// caching — the canonical reference execution and the baseline the
+// fleet benchmark compares against. Run produces byte-identical
+// per-campaign results.
+func RunCampaign(job Job) Result {
+	r := Result{Name: job.Name, SKU: job.Module.SKU()}
+	if err := job.validate(); err != nil {
+		r.Err = err
+		return r
+	}
+	mod, err := dram.NewModule(job.Module.geometry(), job.Module.Device, job.Module.Seed)
+	if err != nil {
+		r.Err = fmt.Errorf("campaign: module: %w", err)
+		return r
+	}
+	prof, err := templateJob(job, mod, nil)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	// Rewind to the exact identity the template described; the online
+	// stage starts from a pristine module in both engines.
+	mod.Reset(job.Module.Device, job.Module.Seed)
+	r.Online, r.Err = onlineJob(job, mod, prof, nil)
+	r.ArenaBytes = int64(mod.ArenaBytes())
+	return r
+}
+
+// Run executes the fleet: every job, pipelined across cfg.Workers
+// concurrent stage slots, with template deduplication through the
+// profile cache, pooled module arenas, and admission control over
+// estimated in-flight bytes. Per-campaign results are byte-identical to
+// RunCampaign at any worker count and any cache state; only the
+// observational fields (ArenaBytes, PeakReservedBytes, stage timings)
+// depend on scheduling.
+func Run(jobs []Job, cfg Config) *Summary {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewProfileCache()
+	}
+	e := &engine{
+		cache: cache,
+		pool:  dram.NewModulePool(),
+		rec:   memsys.NewRecycler(),
+		adm:   newByteSem(cfg.MaxArenaBytes),
+		slots: make(chan struct{}, workers),
+	}
+
+	// CacheHit is assigned from canonical order — the first job of each
+	// template identity (counting identities already in a shared cache)
+	// is the cold one — so the flag does not wobble with scheduling.
+	hit := make([]bool, len(jobs))
+	cache.mu.Lock()
+	seen := make(map[profileKey]bool, len(jobs))
+	for k := range cache.entries {
+		seen[k] = true
+	}
+	cache.mu.Unlock()
+	for i, j := range jobs {
+		if j.validate() != nil {
+			continue // never templates, so it neither hits nor seeds a key
+		}
+		k := j.profileKey()
+		hit[i] = seen[k]
+		seen[k] = true
+	}
+
+	results := make([]Result, len(jobs))
+	var emitMu sync.Mutex
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := e.runJob(i, jobs[i], hit[i])
+			results[i] = r
+			if cfg.OnResult != nil {
+				emitMu.Lock()
+				cfg.OnResult(r)
+				emitMu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	return summarize(results, e.adm.peakReserved())
+}
+
+// runJob drives one campaign through the pipeline.
+func (e *engine) runJob(idx int, job Job, hit bool) Result {
+	r := Result{Index: idx, Name: job.Name, SKU: job.Module.SKU(), CacheHit: hit}
+	if err := job.validate(); err != nil {
+		r.Err = err
+		return r
+	}
+	spec := job.Module
+
+	// Admission first: the reservation covers the campaign end to end,
+	// so the byte cap bounds resident state no matter how many worker
+	// slots exist.
+	est := e.arenaEstimate(job)
+	granted := e.adm.acquire(est)
+	defer e.adm.release(granted)
+
+	entry, leader := e.cache.begin(job.profileKey())
+	var prof *profile.Profile
+	var mod *dram.Module
+	if leader {
+		e.slots <- struct{}{}
+		var err error
+		mod, err = e.pool.Get(spec.geometry(), spec.Device, spec.Seed)
+		if err == nil {
+			prof, err = templateJob(job, mod, e.rec)
+		}
+		e.cache.publish(entry, prof, err)
+		if err != nil {
+			<-e.slots
+			e.pool.Put(mod)
+			r.Err = err
+			return r
+		}
+	} else {
+		// Followers wait without a slot: a stalled template must not
+		// starve unrelated campaigns of workers.
+		<-entry.ready
+		if entry.err != nil {
+			r.Err = entry.err
+			return r
+		}
+		prof = entry.prof
+		e.slots <- struct{}{}
+	}
+	defer func() { <-e.slots }()
+
+	if mod != nil {
+		mod.Reset(spec.Device, spec.Seed)
+	} else {
+		var err error
+		mod, err = e.pool.Get(spec.geometry(), spec.Device, spec.Seed)
+		if err != nil {
+			r.Err = fmt.Errorf("campaign: module: %w", err)
+			return r
+		}
+	}
+	r.Online, r.Err = onlineJob(job, mod, prof, e.rec)
+	r.ArenaBytes = int64(mod.ArenaBytes())
+	e.pool.Put(mod)
+	e.cache.observe(job.skuKey(), leader, prof.TotalFlips(), r.ArenaBytes)
+	return r
+}
+
+// arenaEstimate guesses a campaign's resident-state footprint for
+// admission. Sparse modules materialize only pages the attack actually
+// dirties — roughly the flippy fraction of the templating buffer plus
+// the whole weight file — so the estimate is a fraction of the buffer
+// plus the file plus fixed slack for bookkeeping. The SKU prior's
+// observed high-water mark, when larger, replaces the guess: strictly
+// advisory, it only shapes admission order.
+func (e *engine) arenaEstimate(job Job) int64 {
+	est := int64(job.Online.BufferPages)*memsys.PageSize/8 +
+		int64(len(job.WeightFile)) + 1<<20
+	if p := e.cache.Prior(job.skuKey()); p.MaxArenaBytes > est {
+		est = p.MaxArenaBytes
+	}
+	return est
+}
+
+// summarize assembles the canonical-order summary.
+func summarize(results []Result, peak int64) *Summary {
+	s := &Summary{Results: results, PeakReservedBytes: peak}
+	bySKU := make(map[string]*SKUStats)
+	var names []string
+	for i := range results {
+		r := &results[i]
+		st := bySKU[r.SKU]
+		if st == nil {
+			st = &SKUStats{SKU: r.SKU}
+			bySKU[r.SKU] = st
+			names = append(names, r.SKU)
+		}
+		st.Campaigns++
+		if r.CacheHit {
+			st.CacheHits++
+			s.CacheHits++
+		}
+		if r.Err != nil {
+			st.Failed++
+			s.Failed++
+			continue
+		}
+		st.NMatch += r.Online.NMatch
+		st.NRequired += r.Online.NRequired
+		if r.ArenaBytes > st.MaxArenaBytes {
+			st.MaxArenaBytes = r.ArenaBytes
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.SKUs = append(s.SKUs, *bySKU[n])
+	}
+	return s
+}

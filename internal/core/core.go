@@ -9,6 +9,8 @@
 package core
 
 import (
+	"sort"
+
 	"rowhammer/internal/nn"
 	"rowhammer/internal/profile"
 	"rowhammer/internal/quant"
@@ -61,6 +63,10 @@ func RequirementsFromCodes(orig, backdoored []int8) []profile.PageRequirement {
 	for page, flips := range byPage {
 		out = append(out, profile.PageRequirement{FilePage: page, Flips: flips})
 	}
+	// Canonical page order: the placement planner breaks ties by input
+	// order, so map-iteration order here would make plans (and corrupted
+	// files) wobble between otherwise identical runs.
+	sort.Slice(out, func(i, j int) bool { return out[i].FilePage < out[j].FilePage })
 	return out
 }
 
@@ -114,5 +120,6 @@ func ReduceRequirementsToOnePerPage(orig, backdoored []int8) []profile.PageRequi
 	for page, b := range best {
 		out = append(out, profile.PageRequirement{FilePage: page, Flips: []profile.CellFlip{b.flip}})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FilePage < out[j].FilePage })
 	return out
 }

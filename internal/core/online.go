@@ -50,6 +50,35 @@ type OnlineConfig struct {
 	// MaxBufferPages caps the exponential buffer growth (0 = 8×
 	// BufferPages).
 	MaxBufferPages int
+
+	// Profile, when non-nil, is a pre-computed flip template for the
+	// attacker buffer and ExecuteOnline skips the templating sweep
+	// entirely — the cross-campaign cache's warm path. It must describe
+	// the exact buffer this run would otherwise profile (same base, same
+	// page count on a pristine module of identical identity). The profile
+	// is treated as shared and read-only; when RetemplatePasses allows
+	// in-place mutation, the engine works on a private clone.
+	Profile *profile.Profile
+}
+
+// validateRetryKnobs rejects negative retry machinery. A negative value
+// is always a caller bug — silently treating it as "disabled" (what the
+// < 1 clamps downstream would do) hides mis-wired sweep configs, so the
+// engine refuses loudly instead.
+func (cfg OnlineConfig) validateRetryKnobs() error {
+	if cfg.Rounds < 0 {
+		return fmt.Errorf("core: Rounds must be >= 0, got %d", cfg.Rounds)
+	}
+	if cfg.Escalation < 0 {
+		return fmt.Errorf("core: Escalation must be >= 0, got %v", cfg.Escalation)
+	}
+	if cfg.RetemplatePasses < 0 {
+		return fmt.Errorf("core: RetemplatePasses must be >= 0, got %d", cfg.RetemplatePasses)
+	}
+	if cfg.MaxBufferPages < 0 {
+		return fmt.Errorf("core: MaxBufferPages must be >= 0, got %d", cfg.MaxBufferPages)
+	}
+	return nil
 }
 
 // DefaultOnlineConfig sizes the templating buffer for a weight file of
@@ -137,6 +166,9 @@ func ExecuteOnline(sys *memsys.System, weightFile []byte, reqs []profile.PageReq
 	if cfg.WeightFileName == "" {
 		cfg.WeightFileName = "model-weights.bin"
 	}
+	if err := cfg.validateRetryKnobs(); err != nil {
+		return nil, err
+	}
 	if len(weightFile)%memsys.PageSize != 0 {
 		return nil, fmt.Errorf("core: weight file must be page aligned, got %d bytes", len(weightFile))
 	}
@@ -155,14 +187,29 @@ func ExecuteOnline(sys *memsys.System, weightFile []byte, reqs []profile.PageReq
 		Intensity:   cfg.Intensity,
 		MeasureSeed: cfg.MeasureSeed,
 	}
-	t0 := time.Now()
-	prof, err := profile.ProfileBuffer(sys, attacker, bufBase, cfg.BufferPages, pcfg)
-	report.Timing.ProfileNs += time.Since(t0).Nanoseconds()
-	if err != nil {
-		return nil, fmt.Errorf("core: profiling: %w", err)
+	var prof *profile.Profile
+	if cfg.Profile != nil {
+		// Warm path: reuse a cached template instead of re-sweeping the
+		// buffer. The template is only valid for the buffer it described —
+		// aggressor vaddrs and buffer-page indices are positional.
+		if cfg.Profile.BufBase != bufBase || cfg.Profile.BufPages != cfg.BufferPages {
+			return nil, fmt.Errorf("core: cached profile covers buffer %#x/%d pages, this run maps %#x/%d",
+				cfg.Profile.BufBase, cfg.Profile.BufPages, bufBase, cfg.BufferPages)
+		}
+		prof = cfg.Profile
+		if cfg.RetemplatePasses > 0 {
+			prof = prof.Clone()
+		}
+	} else {
+		t0 := time.Now()
+		prof, err = profile.ProfileBuffer(sys, attacker, bufBase, cfg.BufferPages, pcfg)
+		report.Timing.ProfileNs += time.Since(t0).Nanoseconds()
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling: %w", err)
+		}
 	}
 
-	t0 = time.Now()
+	t0 := time.Now()
 	plan, err := profile.PlanPlacement(prof, reqs, filePages)
 	report.Timing.PlanNs += time.Since(t0).Nanoseconds()
 	if err != nil {

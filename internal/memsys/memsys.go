@@ -49,6 +49,12 @@ type System struct {
 	files    map[string]*cachedFile
 	fileList []*cachedFile // file ID → file, for page-table back-references
 	nextPID  int
+
+	// rec is the optional slice recycler this System draws bookkeeping
+	// from; procs tracks processes so Recycle can harvest their page
+	// tables. Both stay nil for plain NewSystem systems.
+	rec   *Recycler
+	procs []*Process
 }
 
 type cachedFile struct {
@@ -63,12 +69,23 @@ type cachedFile struct {
 // NewSystem wraps a DRAM module. Frames cover the module's full
 // capacity.
 func NewSystem(module *dram.Module) *System {
+	return buildSystem(module, nil)
+}
+
+func buildSystem(module *dram.Module, rec *Recycler) *System {
 	n := module.Size() / PageSize
+	words := (n + 63) / 64
 	s := &System{
 		module:  module,
 		nframes: n,
-		free:    make([]uint64, (n+63)/64),
 		files:   make(map[string]*cachedFile),
+		rec:     rec,
+	}
+	if rec != nil {
+		s.free = rec.getBitset(words)
+	}
+	if s.free == nil {
+		s.free = make([]uint64, words)
 	}
 	for i := range s.free {
 		s.free[i] = ^uint64(0)
@@ -223,11 +240,16 @@ func (s *System) FileCachedFrames(name string) (map[int]int, error) {
 // NewProcess creates a process with an empty address space.
 func (s *System) NewProcess() *Process {
 	s.nextPID++
-	return &Process{
+	p := &Process{
 		sys:       s,
 		pid:       s.nextPID,
 		nextVPage: 0x1000, // arbitrary non-zero base
 	}
+	if s.rec != nil {
+		p.pt = s.rec.getPT()
+		s.procs = append(s.procs, p)
+	}
+	return p
 }
 
 // ptEntry is one page-table slot. frame < 0 means unmapped; fileID ≥ 0

@@ -1,0 +1,77 @@
+package memsys
+
+import (
+	"sync"
+
+	"rowhammer/internal/dram"
+)
+
+// Recycler pools the flat bookkeeping slices a System burns through —
+// the frame-allocator bitset and per-process page tables. A fleet
+// campaign builds one System (and two or three processes) per module
+// per stage; with multi-GB modules those slices are hundreds of KB to
+// MBs each, and reallocating them per campaign makes the scheduler pay
+// an mmap-and-fault tax proportional to fleet size. Recycled slices are
+// re-initialized on reuse (the bitset is rewritten wholesale, page
+// tables are harvested at length zero and ensurePT initializes every
+// entry it grows into), so a recycled System is observably identical to
+// a fresh one. Safe for concurrent use.
+type Recycler struct {
+	mu      sync.Mutex
+	bitsets [][]uint64
+	pts     [][]ptEntry
+}
+
+// NewRecycler returns an empty recycler.
+func NewRecycler() *Recycler { return &Recycler{} }
+
+// NewSystem is NewSystem drawing its bookkeeping from the recycler.
+func (r *Recycler) NewSystem(module *dram.Module) *System {
+	return buildSystem(module, r)
+}
+
+func (r *Recycler) getBitset(words int) []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.bitsets) - 1; i >= 0; i-- {
+		if cap(r.bitsets[i]) >= words {
+			bs := r.bitsets[i][:words]
+			r.bitsets[i] = r.bitsets[len(r.bitsets)-1]
+			r.bitsets = r.bitsets[:len(r.bitsets)-1]
+			return bs
+		}
+	}
+	return nil
+}
+
+func (r *Recycler) getPT() []ptEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.pts); n > 0 {
+		pt := r.pts[n-1]
+		r.pts = r.pts[:n-1]
+		return pt
+	}
+	return nil
+}
+
+// Recycle harvests the System's bitset and every process page table
+// back into the recycler. The System and its processes must not be used
+// afterwards — their bookkeeping is gone and any access fails loudly.
+func (s *System) Recycle(r *Recycler) {
+	r.mu.Lock()
+	if s.free != nil {
+		r.bitsets = append(r.bitsets, s.free)
+	}
+	for _, p := range s.procs {
+		if p.pt != nil {
+			r.pts = append(r.pts, p.pt[:0])
+			p.pt = nil
+		}
+	}
+	r.mu.Unlock()
+	s.free = nil
+	s.frameCache = nil
+	s.nframes = 0 // further allocations report ErrNoMemory instead of corrupting
+	s.procs = nil
+}

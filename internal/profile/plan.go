@@ -188,6 +188,12 @@ func PlanPlacement(p *Profile, reqs []PageRequirement, filePages int) (*Placemen
 // indices. Flips unioned into already-indexed rows go through
 // indexInsertFlip instead.
 func (p *Profile) buildFlipIndex() {
+	// Fully-indexed profiles return before touching any field, so a
+	// primed profile (see PrimeIndex) can serve concurrent PlanPlacement
+	// calls: even a same-value write to indexedRows would be a data race.
+	if p.flipIndex != nil && p.indexedRows == len(p.Rows) {
+		return
+	}
 	if p.flipIndex == nil {
 		p.flipIndex = make(map[CellFlip][]int32)
 	}

@@ -75,6 +75,37 @@ type Profile struct {
 	indexedRows int
 }
 
+// PrimeIndex builds the inverted flip inventory eagerly. A profile
+// published to a cross-campaign cache must be primed first: after
+// priming, PlanPlacement is a pure read of the profile and any number
+// of campaigns can plan against the shared copy concurrently.
+func (p *Profile) PrimeIndex() { p.buildFlipIndex() }
+
+// Clone returns a deep copy that shares no mutable state with the
+// receiver. Campaigns that may re-template (ExtendProfile or
+// ReprofileUnion append rows and union flips in place) must clone a
+// cached profile before mutating it, or they would corrupt every other
+// campaign holding the shared copy. The flip index is not copied; the
+// clone rebuilds it lazily on first plan.
+func (p *Profile) Clone() *Profile {
+	c := &Profile{
+		BufBase:       p.BufBase,
+		BufPages:      p.BufPages,
+		Rows:          make([]VictimRow, len(p.Rows)),
+		aggressorBits: append([]uint64(nil), p.aggressorBits...),
+		victimIdx:     append([]int32(nil), p.victimIdx...),
+	}
+	for i := range p.Rows {
+		r := p.Rows[i]
+		r.AggressorVaddrs = append([]int(nil), r.AggressorVaddrs...)
+		for half := 0; half < 2; half++ {
+			r.Pages[half].Flips = append([]CellFlip(nil), r.Pages[half].Flips...)
+		}
+		c.Rows[i] = r
+	}
+	return c
+}
+
 // Config controls profiling.
 type Config struct {
 	// Sides is the hammer pattern: 2 = double-sided (DDR3), ≥3 =

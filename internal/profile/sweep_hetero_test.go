@@ -1,0 +1,111 @@
+package profile
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/tensor"
+)
+
+// heteroTargets builds a sweep over deliberately mismatched hardware:
+// DDR3 and DDR4 devices, different module capacities, and different
+// buffer sizes per target — the multi-SKU fleet shape. The 7-sided
+// config is the paper's DDR4 online convention and still flips DDR3
+// cells, so every target stays non-vacuous under one shared Config.
+func heteroTargets(t *testing.T) []SweepTarget {
+	t.Helper()
+	specs := []struct {
+		dev      dram.DeviceProfile
+		sizeMB   int
+		bufPages int
+	}{
+		{dram.PaperDDR3(), 16, 512},
+		{dram.PaperDDR4(), 24, 768},
+		{dram.PaperDDR3(), 8, 1024},
+	}
+	targets := make([]SweepTarget, len(specs))
+	for i, s := range specs {
+		mod, err := dram.NewModuleForSize(s.sizeMB<<20, s.dev, int64(200+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := memsys.NewSystem(mod)
+		attacker := sys.NewProcess()
+		base, err := attacker.Mmap(s.bufPages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets[i] = SweepTarget{Sys: sys, Attacker: attacker, BufBase: base, BufPages: s.bufPages}
+	}
+	return targets
+}
+
+// TestProfileSweepHeterogeneousGeometries: a sweep mixing DDR3 and DDR4
+// modules of different capacities and buffer sizes returns, at any
+// worker count, exactly the per-target profiles sequential ProfileBuffer
+// calls produce, in canonical target order.
+func TestProfileSweepHeterogeneousGeometries(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prevProcs)
+	cfg := Config{Sides: 7, Intensity: 1, MeasureSeed: 5, SkipSpoilerCheck: true}
+
+	var ref []*Profile
+	for _, tgt := range heteroTargets(t) {
+		p, err := ProfileBuffer(tgt.Sys, tgt.Attacker, tgt.BufBase, tgt.BufPages, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, p)
+	}
+	for i, p := range ref {
+		if p.TotalFlips() == 0 {
+			t.Fatalf("reference target %d found no flips; test is vacuous", i)
+		}
+	}
+	// The geometries must actually differ or the test degenerates into
+	// the homogeneous sweep already covered elsewhere.
+	if g01, g02 := ref[0].BufPages == ref[1].BufPages, ref[0].BufPages == ref[2].BufPages; g01 || g02 {
+		t.Fatal("targets share buffer geometry; heterogeneity lost")
+	}
+
+	for _, w := range []int{1, 2, 4} {
+		prev := tensor.SetMaxWorkers(w)
+		got, err := ProfileSweep(heteroTargets(t), cfg)
+		tensor.SetMaxWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("sweep returned %d profiles, want %d", len(got), len(ref))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(ref[i], got[i]) {
+				t.Fatalf("sweep at %d workers: heterogeneous target %d differs from sequential reference", w, i)
+			}
+		}
+	}
+}
+
+// TestProfileSweepHeterogeneousErrorAttribution: when one target of a
+// mixed-geometry sweep is invalid, the error names that target's
+// canonical index and the healthy targets do not mask it, at any worker
+// count.
+func TestProfileSweepHeterogeneousErrorAttribution(t *testing.T) {
+	cfg := Config{Sides: 7, Intensity: 1, MeasureSeed: 5, SkipSpoilerCheck: true}
+	for _, w := range []int{1, 4} {
+		targets := heteroTargets(t)
+		targets[1].BufPages = 767 // odd page count → validation error
+		prev := tensor.SetMaxWorkers(w)
+		_, err := ProfileSweep(targets, cfg)
+		tensor.SetMaxWorkers(prev)
+		if err == nil {
+			t.Fatalf("sweep with an invalid DDR4 target succeeded at %d workers", w)
+		}
+		if want := "sweep target 1"; !containsStr(err.Error(), want) {
+			t.Fatalf("error %q does not name the failing target (%q)", err, want)
+		}
+	}
+}

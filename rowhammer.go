@@ -247,41 +247,35 @@ type Online struct {
 	Rounds []AttackRound
 }
 
-// HammerOnline executes the online phase: profile, plan, massage, let
-// the victim map its weight file, hammer, and read back the corrupted
-// file.
-func HammerOnline(v *Victim, off *Offline, hw HardwareConfig) (*Online, error) {
-	profileDev := dram.PaperDDR3()
-	if hw.Device != "" {
-		p, ok := dram.ProfileByName(hw.Device)
-		if !ok {
-			return nil, fmt.Errorf("rowhammer: unknown device %q", hw.Device)
-		}
-		profileDev = p
+// resolveDevice maps the config's device name to its Table I profile.
+func (hw HardwareConfig) resolveDevice() (dram.DeviceProfile, error) {
+	if hw.Device == "" {
+		return dram.PaperDDR3(), nil
 	}
-	moduleMB := orInt(hw.ModuleMB, 192)
-	mod, err := dram.NewModuleForSize(moduleMB<<20, profileDev, orI64(hw.Seed, 7))
-	if err != nil {
-		return nil, err
+	p, ok := dram.ProfileByName(hw.Device)
+	if !ok {
+		return dram.DeviceProfile{}, fmt.Errorf("rowhammer: unknown device %q", hw.Device)
 	}
-	sys := memsys.NewSystem(mod)
-	if hw.FlipFailProb > 0 || hw.TRRJitter > 0 {
-		sys.InjectFaults(dram.FaultModel{
-			FlipFailProb: hw.FlipFailProb,
-			TRRJitter:    hw.TRRJitter,
-			Seed:         orI64(hw.FaultSeed, 1),
-		})
-	}
+	return p, nil
+}
 
-	clean, err := pretrain.CloneModel(v.cfg, v.result.Model)
-	if err != nil {
-		return nil, err
+// faultModel builds the config's fault model (zero value when no fault
+// knob is set).
+func (hw HardwareConfig) faultModel() dram.FaultModel {
+	if hw.FlipFailProb <= 0 && hw.TRRJitter <= 0 {
+		return dram.FaultModel{}
 	}
-	qc := quant.NewQuantizer(clean)
-	cleanFile := qc.WeightFileBytes()
+	return dram.FaultModel{
+		FlipFailProb: hw.FlipFailProb,
+		TRRJitter:    hw.TRRJitter,
+		Seed:         orI64(hw.FaultSeed, 1),
+	}
+}
 
-	reqs := core.RequirementsFromCodes(off.inner.OrigCodes, off.inner.BackdooredCodes)
-	ocfg := core.DefaultOnlineConfig(len(cleanFile) / memsys.PageSize)
+// onlineConfig resolves the config into the online engine's terms for a
+// weight file of filePages pages.
+func (hw HardwareConfig) onlineConfig(filePages int) core.OnlineConfig {
+	ocfg := core.DefaultOnlineConfig(filePages)
 	if hw.Sides != 0 {
 		ocfg.Sides = hw.Sides
 	}
@@ -289,10 +283,21 @@ func HammerOnline(v *Victim, off *Offline, hw HardwareConfig) (*Online, error) {
 	ocfg.Rounds = hw.Rounds
 	ocfg.Escalation = hw.Escalation
 	ocfg.RetemplatePasses = hw.RetemplatePasses
-	res, err := core.ExecuteOnline(sys, cleanFile, reqs, ocfg)
+	return ocfg
+}
+
+// victimWeightFile quantizes a fresh clone of the victim into its
+// deployed weight-file bytes.
+func victimWeightFile(v *Victim) ([]byte, error) {
+	clean, err := pretrain.CloneModel(v.cfg, v.result.Model)
 	if err != nil {
 		return nil, err
 	}
+	return quant.NewQuantizer(clean).WeightFileBytes(), nil
+}
+
+// wrapOnline lifts the internal online result into the public shape.
+func wrapOnline(res *core.OnlineResult) *Online {
 	on := &Online{
 		inner:       res,
 		RMatch:      res.RMatch,
@@ -311,7 +316,37 @@ func HammerOnline(v *Victim, off *Offline, hw HardwareConfig) (*Online, error) {
 			Missing:      r.Missing,
 		})
 	}
-	return on, nil
+	return on
+}
+
+// HammerOnline executes the online phase: profile, plan, massage, let
+// the victim map its weight file, hammer, and read back the corrupted
+// file.
+func HammerOnline(v *Victim, off *Offline, hw HardwareConfig) (*Online, error) {
+	profileDev, err := hw.resolveDevice()
+	if err != nil {
+		return nil, err
+	}
+	moduleMB := orInt(hw.ModuleMB, 192)
+	mod, err := dram.NewModuleForSize(moduleMB<<20, profileDev, orI64(hw.Seed, 7))
+	if err != nil {
+		return nil, err
+	}
+	sys := memsys.NewSystem(mod)
+	if f := hw.faultModel(); f != (dram.FaultModel{}) {
+		sys.InjectFaults(f)
+	}
+
+	cleanFile, err := victimWeightFile(v)
+	if err != nil {
+		return nil, err
+	}
+	reqs := core.RequirementsFromCodes(off.inner.OrigCodes, off.inner.BackdooredCodes)
+	res, err := core.ExecuteOnline(sys, cleanFile, reqs, hw.onlineConfig(len(cleanFile)/memsys.PageSize))
+	if err != nil {
+		return nil, err
+	}
+	return wrapOnline(res), nil
 }
 
 // Report is the end-to-end evaluation of the attack.

@@ -1,6 +1,9 @@
 package rowhammer
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 // TestPublicAPIEndToEnd drives the façade through the whole pipeline at
 // a tiny scale. Behavioral strength (high ASR, preserved TA at
@@ -59,6 +62,67 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	t.Logf("end-to-end: clean %.3f, offline TA %.3f ASR %.3f, online TA %.3f ASR %.3f, r_match %.2f%%",
 		rep.CleanAccuracy, rep.OfflineTA, rep.OfflineASR, rep.OnlineTA, rep.OnlineASR, rep.RMatch)
+}
+
+// TestRunFleetMatchesHammerOnline pins the fleet engine to the
+// single-module path: a no-fault fleet campaign corrupts the weight
+// file byte-for-byte as HammerOnline would, identical modules share one
+// template, and the streaming callback fires once per campaign.
+func TestRunFleetMatchesHammerOnline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: trains a victim model; run without -short")
+	}
+	victim, err := TrainVictim(VictimConfig{Arch: "resnet20", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := InjectBackdoor(victim, AttackConfig{TargetClass: 2, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := HardwareConfig{Seed: 3}
+	want, err := HammerOnline(victim, off, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamed := 0
+	sum, err := RunFleet(victim, off, []FleetModule{
+		{Name: "m0", Hardware: hw},
+		{Name: "m1", Hardware: hw},
+		{Name: "m2", Hardware: HardwareConfig{Seed: 3, Device: "F1"}},
+	}, FleetConfig{Workers: 2, OnReport: func(FleetReport) { streamed++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 3 {
+		t.Fatalf("OnReport fired %d times, want 3", streamed)
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("%d campaigns failed", sum.Failed)
+	}
+	if sum.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1 (m1 shares m0's identity)", sum.CacheHits)
+	}
+	for _, i := range []int{0, 1} {
+		r := sum.Reports[i]
+		if !bytes.Equal(r.Online.inner.CorruptedFile, want.inner.CorruptedFile) {
+			t.Fatalf("campaign %d corrupted file differs from HammerOnline", i)
+		}
+		if r.Online.RMatch != want.RMatch || r.Online.Matched != want.Matched {
+			t.Fatalf("campaign %d metrics differ from HammerOnline", i)
+		}
+	}
+	if _, err := Evaluate(victim, off, sum.Reports[2].Online); err != nil {
+		t.Fatalf("Evaluate on fleet report: %v", err)
+	}
+
+	if _, err := RunFleet(victim, off, []FleetModule{{Hardware: HardwareConfig{Device: "Z9"}}}, FleetConfig{}); err == nil {
+		t.Fatal("unknown fleet device must fail")
+	}
+	if _, err := RunFleet(victim, off, nil, FleetConfig{}); err == nil {
+		t.Fatal("empty fleet must fail")
+	}
 }
 
 func TestTrainVictimUnknownArch(t *testing.T) {
