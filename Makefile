@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test-short test-race bench-kernels bench-eval bench-train bench-online bench-module bench-campaign check-bench vet
+.PHONY: build test-short test-race bench-kernels bench-eval bench-train bench-online bench-module bench-campaign bench-offline check-bench vet
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,13 @@ test-short:
 	$(GO) test -short ./...
 
 ## test-race: race detector over the packages with the concurrent kernels
-## (worker pool, buffer pool, batch-parallel conv/batchnorm, int8 engine,
-## parallel metric evaluation, the data-parallel trainer incl. the
-## RunOffline short-mode determinism test in internal/core, the parallel
-## templating engine: profile, sidechan, memsys, and the fault-injection
-## pass counters in internal/dram).
+## (worker pool, buffer pool, batch-parallel conv/batchnorm, int8 engine
+## incl. the suffix scorer's concurrent candidate fan-out in
+## internal/quant, parallel metric evaluation, the data-parallel trainer
+## incl. the RunOffline short-mode determinism and suffix-refinement
+## tests in internal/core, the parallel templating engine: profile,
+## sidechan, memsys, and the fault-injection pass counters in
+## internal/dram).
 test-race:
 	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/core ./internal/profile ./internal/sidechan ./internal/memsys ./internal/dram ./internal/campaign
 
@@ -69,6 +71,16 @@ bench-campaign:
 	$(GO) run ./cmd/benchjson -bench 'FleetSweep/Pipelined' \
 		-pkg ./internal/campaign -benchtime 1x \
 		-merge BENCH_campaign_baseline.json -o BENCH_campaign.json
+
+## bench-offline: offline-attack refinement benchmarks — one constraint
+## enforcement step with full-forward scoring vs the incremental suffix
+## scorer (1 and 4 workers) plus the end-to-end RunOffline wall-clock —
+## merged with the committed pre-scorer baseline
+## (BENCH_offline_baseline.json, *PrePR entries) into BENCH_offline.json.
+bench-offline:
+	$(GO) run ./cmd/benchjson -bench 'Refinement|OfflineAttack' \
+		-pkg ./internal/core -benchtime 3x \
+		-merge BENCH_offline_baseline.json -o BENCH_offline.json
 
 ## check-bench: validate every committed benchjson report against the
 ## schema (strict fields, non-empty, sane values) and its *_baseline.json

@@ -72,6 +72,20 @@ type Config struct {
 	// transformations mutate model floats directly, bypassing the
 	// quantizer's codes the int8 engine executes.
 	Float32Eval bool
+	// FullForwardRefine forces every refinement loss evaluation onto
+	// full forward passes, disabling the incremental suffix scorer. By
+	// default (int8 evaluation, no WrapLoss) candidate flips score on a
+	// quant.Scorer that caches per-layer activations and recomputes only
+	// the layers at and after the flip — bit-identical to the full
+	// forwards, just faster. This knob pins the reference path for the
+	// determinism suite and A/B benchmarks.
+	FullForwardRefine bool
+	// ScoreWorkers bounds how many candidate flips the suffix scorer
+	// evaluates concurrently (0 uses the kernel parallelism bound).
+	// Scheduling only: the refinement reduces candidate losses in fixed
+	// candidate order, so any worker count produces byte-identical
+	// attack output.
+	ScoreWorkers int
 	// TrainShards fixes the data-parallel trainer's shard count for the
 	// gradient passes (0 selects nn.DefaultTrainShards). The shard count
 	// — not the worker count — determines the floating-point summation
@@ -129,6 +143,24 @@ func dirOf(zeroToOne bool) dram.FlipDirection {
 	return dram.OneToZero
 }
 
+// groupGeometry is the single source of the page-aligned group
+// partition of Eq. 5: it validates NFlip against the page count of nw
+// weights and returns the group span in weights. Both the per-iteration
+// selection (GroupSortSelect) and the constraint enforcement
+// (groupBounds) derive their geometry here, and RunOffline validates
+// NFlip up front through it without allocating anything.
+func groupGeometry(nw, nflip int) (groupSize int, err error) {
+	pages := (nw + quant.PageSize - 1) / quant.PageSize
+	if nflip < 1 {
+		return 0, fmt.Errorf("core: NFlip must be positive, got %d", nflip)
+	}
+	if nflip > pages {
+		return 0, fmt.Errorf("core: NFlip=%d exceeds the %d pages the weights occupy", nflip, pages)
+	}
+	pagesPerGroup := (pages + nflip - 1) / nflip
+	return pagesPerGroup * quant.PageSize, nil
+}
+
 // GroupSortSelect implements Eq. 5: the flat weight vector is divided
 // into at most NFlip page-aligned groups of equal size, and the index
 // with the largest gradient magnitude is selected per group. Page
@@ -136,15 +168,10 @@ func dirOf(zeroToOne bool) dram.FlipDirection {
 // share a 4 KB page (constraint C2).
 func GroupSortSelect(absGrad []float32, nflip int) ([]int, error) {
 	nw := len(absGrad)
-	pages := (nw + quant.PageSize - 1) / quant.PageSize
-	if nflip < 1 {
-		return nil, fmt.Errorf("core: NFlip must be positive, got %d", nflip)
+	groupSize, err := groupGeometry(nw, nflip)
+	if err != nil {
+		return nil, err
 	}
-	if nflip > pages {
-		return nil, fmt.Errorf("core: NFlip=%d exceeds the %d pages the weights occupy", nflip, pages)
-	}
-	pagesPerGroup := (pages + nflip - 1) / nflip
-	groupSize := pagesPerGroup * quant.PageSize
 	sel := make([]int, 0, nflip)
 	for lo := 0; lo < nw; lo += groupSize {
 		hi := lo + groupSize
@@ -191,15 +218,20 @@ func RunOffline(model *nn.Model, attackSet *data.Dataset, cfg Config) (*Result, 
 	q := quant.NewQuantizer(model)
 	orig := q.Codes()
 
+	// Validates NFlip against the page count and fixes the enforcement
+	// group partition for the whole run (the geometry is a pure function
+	// of the weight count).
+	groups, err := groupBounds(q.NumWeights(), cfg.NFlip)
+	if err != nil {
+		return nil, err
+	}
+
 	// The greedy refinement's loss evaluations run on the int8 engine
 	// unless the caller opted out or installed a WrapLoss recovery hook
 	// (which mutates floats behind the quantizer's back).
 	var qm *quant.QModel
 	if !cfg.Float32Eval && cfg.WrapLoss == nil {
 		qm = quant.NewQModel(q)
-	}
-	if _, err := GroupSortSelect(make([]float32, q.NumWeights()), cfg.NFlip); err != nil {
-		return nil, err // validates NFlip against the page count
 	}
 
 	c, h, w := model.InputShape[0], model.InputShape[1], model.InputShape[2]
@@ -235,6 +267,17 @@ func RunOffline(model *nn.Model, attackSet *data.Dataset, cfg Config) (*Result, 
 	refineTargets := make([]int, rb)
 	for i := range refineTargets {
 		refineTargets[i] = cfg.TargetClass
+	}
+
+	// The incremental suffix scorer drives the greedy refinement on the
+	// int8 engine: it pins the refinement batch's per-layer activations
+	// and rescans only the layers at and after each candidate flip —
+	// bit-identical to full forwards at any worker count.
+	var scorer *quant.Scorer
+	if qm != nil && !cfg.FullForwardRefine {
+		scorer = quant.NewScorer(qm, refineBatch.clean, refineBatch.trig,
+			refineBatch.labels, refineTargets, cfg.Alpha)
+		scorer.SetWorkers(cfg.ScoreWorkers)
 	}
 
 	result := &Result{Quantizer: q, OrigCodes: orig, Trigger: trigger}
@@ -308,6 +351,13 @@ func RunOffline(model *nn.Model, attackSet *data.Dataset, cfg Config) (*Result, 
 
 		// Step 4: periodic constraint enforcement + Bit Reduction.
 		if (t+1)%cfg.BitReduceEvery == 0 || t == cfg.Iterations-1 {
+			// The trigger is frozen within one enforcement step, so the
+			// triggered refinement batch is stamped once here instead of
+			// once per loss evaluation.
+			refineBatch.stamp(trigger)
+			if scorer != nil {
+				scorer.InputsChanged()
+			}
 			fwd := func(x *tensor.Tensor) *tensor.Tensor {
 				if qm != nil {
 					return qm.Forward(x)
@@ -315,13 +365,13 @@ func RunOffline(model *nn.Model, attackSet *data.Dataset, cfg Config) (*Result, 
 				return model.Forward(x, false)
 			}
 			rawLoss := func() float32 {
-				return blendedLoss(fwd, refineBatch, refineTargets, trigger, cfg.Alpha)
+				return blendedLoss(fwd, refineBatch, refineTargets, cfg.Alpha)
 			}
 			lossFn := rawLoss
 			if cfg.WrapLoss != nil {
 				lossFn = func() float32 { return cfg.WrapLoss(rawLoss) }
 			}
-			enforceConstraints(q, orig, cfg, lossFn)
+			enforceConstraints(q, orig, groups, cfg, lossFn, scorer)
 		}
 	}
 
@@ -332,36 +382,38 @@ func RunOffline(model *nn.Model, attackSet *data.Dataset, cfg Config) (*Result, 
 
 // blendedLoss evaluates the Eq. 3 objective (forward passes only) for
 // the greedy refinement. fwd abstracts the inference engine so the same
-// scoring runs on the fp32 graph or the int8 engine.
-func blendedLoss(fwd func(*tensor.Tensor) *tensor.Tensor, images *tensorBatch, target []int, trigger *data.Trigger, alpha float32) float32 {
+// scoring runs on the fp32 graph or the int8 engine. The triggered batch
+// must already be stamped (tensorBatch.stamp) for the current trigger.
+func blendedLoss(fwd func(*tensor.Tensor) *tensor.Tensor, images *tensorBatch, target []int, alpha float32) float32 {
 	cleanOut := fwd(images.clean)
-	cleanLoss, _ := nn.CrossEntropy(cleanOut, images.labels, 1-alpha)
-	trigOut := fwd(images.triggered(trigger))
-	trigLoss, _ := nn.CrossEntropy(trigOut, target, alpha)
+	cleanLoss := nn.CrossEntropyLoss(cleanOut, images.labels, 1-alpha)
+	trigOut := fwd(images.trig)
+	trigLoss := nn.CrossEntropyLoss(trigOut, target, alpha)
 	return cleanLoss + trigLoss
 }
 
-// tensorBatch caches the refinement evaluation batch; the triggered copy
-// is re-stamped on demand because the trigger pattern evolves.
+// tensorBatch caches the refinement evaluation batch. The triggered copy
+// is stamped once per enforcement step — the trigger is frozen inside a
+// step, so restamping per loss evaluation would be pure waste.
 type tensorBatch struct {
 	clean  *tensor.Tensor
 	trig   *tensor.Tensor
 	labels []int
 }
 
-func (b *tensorBatch) triggered(trigger *data.Trigger) *tensor.Tensor {
+func (b *tensorBatch) stamp(trigger *data.Trigger) {
 	copy(b.trig.Data(), b.clean.Data())
 	trigger.Apply(b.trig)
-	return b.trig
 }
 
 // groupBounds returns the page-aligned [lo, hi) ranges of the NFlip
-// groups over nw weights.
-func groupBounds(nw, nflip int) [][2]int {
-	pages := (nw + quant.PageSize - 1) / quant.PageSize
-	pagesPerGroup := (pages + nflip - 1) / nflip
-	groupSize := pagesPerGroup * quant.PageSize
-	var out [][2]int
+// groups over nw weights (same partition as GroupSortSelect).
+func groupBounds(nw, nflip int) ([][2]int, error) {
+	groupSize, err := groupGeometry(nw, nflip)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][2]int, 0, (nw+groupSize-1)/groupSize)
 	for lo := 0; lo < nw; lo += groupSize {
 		hi := lo + groupSize
 		if hi > nw {
@@ -369,7 +421,7 @@ func groupBounds(nw, nflip int) [][2]int {
 		}
 		out = append(out, [2]int{lo, hi})
 	}
-	return out
+	return out, nil
 }
 
 // enforceConstraints snaps weights to the quantization grid and reduces
@@ -378,9 +430,17 @@ func groupBounds(nw, nflip int) [][2]int {
 // groups, evaluating each group's top drifted candidates (and "no
 // flip") under the blended objective and keeping the best — the
 // discrete recovery that makes the Figure 7 loss spikes settle.
-func enforceConstraints(q *quant.Quantizer, orig []int8, cfg Config, lossFn func() float32) {
+//
+// When a scorer is supplied the descent runs on it: each group's
+// candidates fan out concurrently over suffix forwards, and the losses
+// reduce by argmin in the fixed order [current, no-flip, rest] with
+// strict-< replacement — exactly the sequence the lossFn loop evaluates
+// — so the kept flips are byte-identical at any worker count. With
+// scorer == nil (fp32 evaluation, WrapLoss recovery hooks, or the
+// FullForwardRefine reference path) every option is scored by lossFn
+// full forwards instead.
+func enforceConstraints(q *quant.Quantizer, orig []int8, groups [][2]int, cfg Config, lossFn func() float32, scorer *quant.Scorer) {
 	q.Requantize()
-	groups := groupBounds(q.NumWeights(), cfg.NFlip)
 
 	reduce := func(i int, drifted int8) int8 {
 		if cfg.BitReduce {
@@ -435,12 +495,48 @@ func enforceConstraints(q *quant.Quantizer, orig []int8, cfg Config, lossFn func
 	}
 	// Coordinate descent: per group, pick the candidate (or no flip)
 	// minimizing the blended objective with all other groups fixed.
+	var (
+		scs    []quant.Candidate
+		losses []float32
+	)
 	for gi := range groups {
 		cands := groupCands[gi]
 		if len(cands) == 0 {
 			continue
 		}
 		current := cands[0] // applied above
+
+		if scorer != nil {
+			// Revert to the no-flip state so the scorer's baseline IS the
+			// no-flip loss, then fan the candidates out over suffix
+			// forwards. Reduction order replicates the sequential loop:
+			// cands[0] seeds best, no-flip and cands[1:] replace on
+			// strict <.
+			q.SetCode(current.idx, orig[current.idx])
+			scs = scs[:0]
+			for _, c := range cands {
+				scs = append(scs, quant.Candidate{Weight: c.idx, Code: c.code})
+			}
+			var noflip float32
+			losses, noflip = scorer.ScoreInto(losses, scs)
+			bestLoss := losses[0]
+			bestIdx, bestCode := current.idx, current.code
+			if noflip < bestLoss {
+				bestLoss = noflip
+				bestIdx, bestCode = -1, 0
+			}
+			for j, c := range cands[1:] {
+				if l := losses[j+1]; l < bestLoss {
+					bestLoss = l
+					bestIdx, bestCode = c.idx, c.code
+				}
+			}
+			if bestIdx >= 0 {
+				q.SetCode(bestIdx, bestCode)
+			}
+			continue
+		}
+
 		bestLoss := lossFn()
 		bestIdx, bestCode := current.idx, current.code
 

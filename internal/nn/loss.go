@@ -97,6 +97,51 @@ func CrossEntropyInto(grad, logits *tensor.Tensor, labels []int, weight float32,
 	return total
 }
 
+// CrossEntropyLoss computes the same weighted mean cross-entropy as
+// CrossEntropy without materializing the gradient — the forward-only
+// evaluation the offline attack's candidate scorer performs thousands of
+// times. The per-row arithmetic (float64 exp-sum, float32 inverse and
+// probability, the 1e-12 clamp) mirrors CrossEntropyInto exactly so the
+// two paths agree bit for bit.
+func CrossEntropyLoss(logits *tensor.Tensor, labels []int, weight float32) float32 {
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic("nn: label count does not match batch size")
+	}
+	ld := logits.Data()
+	var total float64
+	for i := 0; i < n; i++ {
+		row := ld[i*k : (i+1)*k]
+		total += RowNLL(row, labels[i])
+	}
+	return weight * float32(total) / float32(n)
+}
+
+// RowNLL returns the negative log likelihood of class y under the
+// softmax of one logit row, with CrossEntropyInto's exact float
+// discipline: exponentials accumulate in float64 but are stored through
+// float32 before the float32 inverse-sum multiply. Exported so callers
+// holding logits in non-row-major layouts (the quantized engine's
+// channel-major activations) can reuse the bit-exact row loss.
+func RowNLL(row []float32, y int) float64 {
+	m := row[0]
+	for _, v := range row[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for _, v := range row {
+		sum += math.Exp(float64(v - m))
+	}
+	inv := float32(1 / sum)
+	p := float32(math.Exp(float64(row[y]-m))) * inv
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(float64(p))
+}
+
 // Accuracy returns the fraction of rows in logits whose argmax equals
 // the label.
 func Accuracy(logits *tensor.Tensor, labels []int) float64 {

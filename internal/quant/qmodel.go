@@ -52,6 +52,18 @@ type QModel struct {
 	hasFallback bool
 	// packs maps parameter-tensor index → the pack cache to invalidate.
 	packs map[int]*packCache
+
+	// paramStage maps parameter-tensor index → the top-level op (stage)
+	// that reads it, or -1 when no op does. A code change to parameter
+	// pi leaves every activation entering stages ≤ paramStage[pi]
+	// untouched — the invalidation contract the suffix Scorer builds on.
+	paramStage []int
+	// paramWeight maps parameter-tensor index → the packed-weight
+	// binding when the parameter is a lowered GEMM weight (conv/linear).
+	// Exactly these parameters support the scorer's concurrent
+	// per-candidate panel overrides; nil entries (biases, BN affine,
+	// fallback-layer params) score via mutate-and-revert.
+	paramWeight []*qweights
 }
 
 // NewQModel compiles the quantized execution plan for the quantizer's
@@ -63,6 +75,7 @@ func NewQModel(q *Quantizer) *QModel {
 		packs: make(map[int]*packCache),
 	}
 	qm.ops = qm.compile([]nn.Layer{q.Model().Root})
+	qm.buildStageIndex()
 	q.OnCodesChanged(func(pi int) {
 		if pi == AllParams {
 			for _, pc := range qm.packs {
@@ -92,7 +105,18 @@ func (qm *QModel) ConcurrentSafe() bool { return !qm.hasFallback }
 // (N, F) for flat-input models — and returns logits (N, K).
 func (qm *QModel) Forward(x *tensor.Tensor) *tensor.Tensor {
 	in := tensorToAct(x)
-	out := runOps(qm.ops, in)
+	out := runOps(qm.ops, nil, in)
+	logits := actToLogits(out)
+	if out != in {
+		putAct(out)
+	}
+	putAct(in)
+	return logits
+}
+
+// actToLogits transposes the final channel-major activation into the
+// (N, K) logits tensor Forward returns.
+func actToLogits(out *qact) *tensor.Tensor {
 	k := out.c * out.h * out.w
 	n := out.n
 	hw := out.h * out.w
@@ -104,10 +128,6 @@ func (qm *QModel) Forward(x *tensor.Tensor) *tensor.Tensor {
 			copy(ld[i*k+c*hw:i*k+c*hw+hw], out.data[base:base+hw])
 		}
 	}
-	if out != in {
-		putAct(out)
-	}
-	putAct(in)
 	return logits
 }
 
@@ -183,16 +203,61 @@ func actToTensor(a *qact) *tensor.Tensor {
 
 // runOps threads an activation through an op chain. The input is owned
 // by the caller; every intermediate is returned to the pool.
-func runOps(ops []qOp, in *qact) *qact {
+func runOps(ops []qOp, ec *execEnv, in *qact) *qact {
 	cur := in
 	for _, op := range ops {
-		next := op.forward(cur)
+		next := op.forward(ec, cur)
 		if cur != in && cur != next {
 			putAct(cur)
 		}
 		cur = next
 	}
 	return cur
+}
+
+// execEnv carries per-invocation execution state: an optional packed-
+// panel override for exactly one weight tensor. The scorer's concurrent
+// candidate fan-out uses it to run a suffix forward "as if" a single
+// code were changed, without mutating the shared quantizer or the
+// shared pack caches.
+type execEnv struct {
+	// target selects the weight binding to override.
+	target *qweights
+	// panels is the replacement packed-panel buffer for target, packed
+	// from the candidate's modified codes with the same PackAI8 layout
+	// the shared cache uses, so the GEMM output is bit-identical to a
+	// SetCode + repack.
+	panels []int16
+}
+
+// panelsOf resolves an op's packed panels: the shared cache, or the
+// execEnv override when this op's weights are the override target.
+func (ec *execEnv) panelsOf(w *qweights, m, k int) []int16 {
+	if ec != nil && ec.target == w {
+		return ec.panels
+	}
+	return w.pack.panelsFor(w.codes, m, k)
+}
+
+// opInPlace reports whether the op may return its (mutated) input
+// activation instead of a fresh buffer. Callers executing ops on cached
+// activations must clone first.
+func opInPlace(op qOp) bool {
+	switch v := op.(type) {
+	case *qReluOp:
+		return true
+	case *qResidualOp:
+		// The add+ReLU epilogue writes into the main branch's output,
+		// which aliases the block input only if every main op is in
+		// place (degenerate plans; real blocks start with a conv).
+		for _, sub := range v.main {
+			if !opInPlace(sub) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // workersFor sizes a ParallelChunks fan-out: tiny workloads run inline.
@@ -284,24 +349,90 @@ func (pc *packCache) panelsFor(codes []int8, m, k int) []int16 {
 	return pc.panels
 }
 
-// qweights binds an op to its live code segment and pack cache.
+// qweights binds an op to its live code segment, pack cache and packed
+// GEMM geometry (m × k row-major codes).
 type qweights struct {
 	codes []int8
 	scale float32
+	m, k  int
 	pack  packCache
 }
 
-func (qm *QModel) bindWeights(w *qweights, p *nn.Param) {
+func (qm *QModel) bindWeights(w *qweights, p *nn.Param, m, k int) {
 	pi := qm.q.ParamIndexOf(p)
 	w.codes, w.scale = qm.q.ParamCodes(pi)
+	w.m, w.k = m, k
 	qm.packs[pi] = &w.pack
+}
+
+// buildStageIndex derives, for every parameter tensor, the top-level
+// stage that reads it and (for lowered GEMM weights) the qweights
+// binding — the mapping the suffix scorer uses to turn "code i changed"
+// into "activations entering stages ≤ s are still valid".
+func (qm *QModel) buildStageIndex() {
+	nparams := len(qm.model.Params())
+	qm.paramStage = make([]int, nparams)
+	for i := range qm.paramStage {
+		qm.paramStage[i] = -1
+	}
+	qm.paramWeight = make([]*qweights, nparams)
+	for si, op := range qm.ops {
+		qm.indexOpParams(si, op)
+	}
+}
+
+func (qm *QModel) indexOpParams(stage int, op qOp) {
+	bind := func(p *nn.Param, w *qweights) {
+		if p == nil {
+			return
+		}
+		pi := qm.q.ParamIndexOf(p)
+		if pi < 0 {
+			return
+		}
+		if qm.paramStage[pi] < 0 {
+			qm.paramStage[pi] = stage
+		}
+		if w != nil && qm.paramWeight[pi] == nil {
+			qm.paramWeight[pi] = w
+		}
+	}
+	switch v := op.(type) {
+	case *qConvOp:
+		bind(v.conv.Weight, &v.qweights)
+		bind(v.conv.Bias, nil)
+		if v.bn != nil {
+			bind(v.bn.Gamma, nil)
+			bind(v.bn.Beta, nil)
+		}
+	case *qLinearOp:
+		bind(v.lin.Weight, &v.qweights)
+		bind(v.lin.Bias, nil)
+	case *qResidualOp:
+		for _, sub := range v.main {
+			qm.indexOpParams(stage, sub)
+		}
+		for _, sub := range v.shortcut {
+			qm.indexOpParams(stage, sub)
+		}
+	case *qFallbackOp:
+		for _, l := range v.layers {
+			for _, p := range l.Params() {
+				bind(p, nil)
+			}
+		}
+	}
 }
 
 // ---------------------------------------------------------------------
 // Plan compilation.
 
 type qOp interface {
-	forward(in *qact) *qact
+	// forward executes the op. ec (nil for plain inference) may carry a
+	// packed-panel override for one weight tensor; ops must honor it via
+	// execEnv.panelsOf so a scorer candidate can shadow one layer's
+	// weights without mutating shared state.
+	forward(ec *execEnv, in *qact) *qact
 }
 
 // compile lowers a layer list into the op plan, fusing Conv+BN+ReLU and
@@ -343,7 +474,8 @@ func (qm *QModel) compile(layers []nn.Layer) []qOp {
 					i = j
 				}
 			}
-			qm.bindWeights(&op.qweights, v.Weight)
+			inC, outC, kh, kw, _, _ := v.Geom()
+			qm.bindWeights(&op.qweights, v.Weight, outC, inC*kh*kw)
 			ops = append(ops, op)
 		case *nn.Linear:
 			flush()
@@ -354,7 +486,8 @@ func (qm *QModel) compile(layers []nn.Layer) []qOp {
 					i = j
 				}
 			}
-			qm.bindWeights(&op.qweights, v.Weight)
+			inF, outF := v.Dims()
+			qm.bindWeights(&op.qweights, v.Weight, outF, inF)
 			ops = append(ops, op)
 		case *nn.ReLU:
 			flush()
@@ -392,7 +525,7 @@ type qConvOp struct {
 	relu bool
 }
 
-func (op *qConvOp) forward(in *qact) *qact {
+func (op *qConvOp) forward(ec *execEnv, in *qact) *qact {
 	inC, outC, kh, kw, stride, pad := op.conv.Geom()
 	if in.c != inC {
 		panic("quant: conv input channel mismatch")
@@ -418,7 +551,7 @@ func (op *qConvOp) forward(in *qact) *qact {
 	tensor.PutI8(xq)
 
 	acc := tensor.GetI32(outC * ncols)
-	pa := op.pack.panelsFor(op.codes, outC, ckk)
+	pa := ec.panelsOf(&op.qweights, outC, ckk)
 	tensor.GemmI8PackedA(acc, pa, outC, ckk, bcol, ncols)
 	tensor.PutI8(bcol)
 
@@ -499,7 +632,7 @@ type qLinearOp struct {
 	relu bool
 }
 
-func (op *qLinearOp) forward(in *qact) *qact {
+func (op *qLinearOp) forward(ec *execEnv, in *qact) *qact {
 	inF, outF := op.lin.Dims()
 	n := in.n
 	hw := in.h * in.w
@@ -559,7 +692,7 @@ func (op *qLinearOp) forward(in *qact) *qact {
 	}
 
 	acc := tensor.GetI32(outF * n)
-	pa := op.pack.panelsFor(op.codes, outF, inF)
+	pa := ec.panelsOf(&op.qweights, outF, inF)
 	tensor.GemmI8PackedA(acc, pa, outF, inF, xq, n)
 	tensor.PutI8(xq)
 
@@ -598,7 +731,7 @@ func (op *qLinearOp) forward(in *qact) *qact {
 // qReluOp clamps in place (layout-agnostic).
 type qReluOp struct{}
 
-func (op *qReluOp) forward(in *qact) *qact {
+func (op *qReluOp) forward(_ *execEnv, in *qact) *qact {
 	d := in.data
 	for i, v := range d {
 		if v < 0 {
@@ -613,7 +746,7 @@ type qMaxPoolOp struct {
 	pool *nn.MaxPool2D
 }
 
-func (op *qMaxPoolOp) forward(in *qact) *qact {
+func (op *qMaxPoolOp) forward(_ *execEnv, in *qact) *qact {
 	k, stride := op.pool.Window()
 	c, n, h, w := in.c, in.n, in.h, in.w
 	oh := (h-k)/stride + 1
@@ -647,7 +780,7 @@ func (op *qMaxPoolOp) forward(in *qact) *qact {
 // qGapOp averages each (channel, sample) plane to (c, n).
 type qGapOp struct{}
 
-func (op *qGapOp) forward(in *qact) *qact {
+func (op *qGapOp) forward(_ *execEnv, in *qact) *qact {
 	hw := in.h * in.w
 	out := getAct(in.c, in.n, 1, 1)
 	inv := 1 / float32(hw)
@@ -670,11 +803,11 @@ type qResidualOp struct {
 	shortcut []qOp // nil for identity
 }
 
-func (op *qResidualOp) forward(in *qact) *qact {
-	mo := runOps(op.main, in)
+func (op *qResidualOp) forward(ec *execEnv, in *qact) *qact {
+	mo := runOps(op.main, ec, in)
 	so := in
 	if op.shortcut != nil {
-		so = runOps(op.shortcut, in)
+		so = runOps(op.shortcut, ec, in)
 	}
 	md, sd := mo.data, so.data
 	for i := range md {
@@ -697,7 +830,7 @@ type qFallbackOp struct {
 	layers []nn.Layer
 }
 
-func (op *qFallbackOp) forward(in *qact) *qact {
+func (op *qFallbackOp) forward(_ *execEnv, in *qact) *qact {
 	x := actToTensor(in)
 	for _, l := range op.layers {
 		x = l.Forward(x, false)
