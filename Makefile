@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test-short test-race bench-kernels bench-eval bench-train bench-online bench-module bench-campaign bench-offline check-bench vet
+.PHONY: build test-short test-race bench-kernels bench-eval bench-train bench-online bench-module bench-campaign bench-offline bench-serve check-bench vet
 
 build:
 	$(GO) build ./...
@@ -13,14 +13,15 @@ test-short:
 
 ## test-race: race detector over the packages with the concurrent kernels
 ## (worker pool, buffer pool, batch-parallel conv/batchnorm, int8 engine
-## incl. the suffix scorer's concurrent candidate fan-out in
-## internal/quant, parallel metric evaluation, the data-parallel trainer
-## incl. the RunOffline short-mode determinism and suffix-refinement
-## tests in internal/core, the parallel templating engine: profile,
-## sidechan, memsys, and the fault-injection pass counters in
-## internal/dram).
+## incl. the epoch hot-swap flip-storm test and the suffix scorer's
+## concurrent candidate fan-out in internal/quant, parallel metric
+## evaluation, the batched serving engine in internal/serve, the
+## data-parallel trainer incl. the RunOffline short-mode determinism and
+## suffix-refinement tests in internal/core, the parallel templating
+## engine: profile, sidechan, memsys, and the fault-injection pass
+## counters in internal/dram).
 test-race:
-	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/core ./internal/profile ./internal/sidechan ./internal/memsys ./internal/dram ./internal/campaign
+	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/serve ./internal/core ./internal/profile ./internal/sidechan ./internal/memsys ./internal/dram ./internal/campaign
 
 ## bench-kernels: blocked-GEMM and conv hot-path benchmarks with
 ## allocation counts. Naive twins run alongside for the speedup ratio.
@@ -81,6 +82,15 @@ bench-offline:
 	$(GO) run ./cmd/benchjson -bench 'Refinement|OfflineAttack' \
 		-pkg ./internal/core -benchtime 3x \
 		-merge BENCH_offline_baseline.json -o BENCH_offline.json
+
+## bench-serve: serving-engine benchmarks — batched micro-batching QPS at
+## 1/2/4 executor workers and the flip-storm vs quiescent hot-swap
+## degradation — merged with the committed unbatched single-request
+## baseline (BENCH_serve_baseline.json) into BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/benchjson -bench 'ServeQPS/batched|ServeFlipStorm' \
+		-pkg ./internal/serve -benchtime 2s \
+		-merge BENCH_serve_baseline.json -o BENCH_serve.json
 
 ## check-bench: validate every committed benchjson report against the
 ## schema (strict fields, non-empty, sane values) and its *_baseline.json

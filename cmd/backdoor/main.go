@@ -44,6 +44,11 @@ func run() error {
 	fleetDevices := flag.String("fleet-devices", "", "comma-separated Table I device names cycled across the fleet (empty = -device for all)")
 	fleetWorkers := flag.Int("fleet-workers", 2, "concurrent campaign slots in fleet mode")
 	fleetArenaMB := flag.Int("fleet-arena-mb", 0, "cap on estimated in-flight DRAM state in MB (0 = unbounded)")
+	serveFire := flag.Bool("serve", false, "victim-under-fire mode: hammer the live serving engine and report the trajectory")
+	serveWorkers := flag.Int("serve-workers", 2, "serving-engine executor workers in -serve mode")
+	serveBatch := flag.Int("serve-batch", 32, "micro-batch size cap in -serve mode")
+	serveReplay := flag.Int("serve-replay", 256, "DeepDyve replay queries per measurement window in -serve mode")
+	serveClients := flag.Int("serve-clients", 4, "live blocking client loops for wall-clock stats in -serve mode")
 	flag.Parse()
 
 	fmt.Printf("[1/4] training clean %s (width %.2f)…\n", *arch, *width)
@@ -74,6 +79,12 @@ func run() error {
 	if *fleet > 0 {
 		return runFleet(victim, off, hw, *fleet, *fleetDevices, *fleetWorkers, *fleetArenaMB)
 	}
+	if *serveFire {
+		return runServe(victim, off, hw, rowhammer.ServeOptions{
+			Workers: *serveWorkers, BatchMax: *serveBatch,
+			ReplayQueries: *serveReplay, LiveClients: *serveClients,
+		})
+	}
 
 	fmt.Printf("[3/4] online phase: template → massage → hammer…\n")
 	on, err := rowhammer.HammerOnline(victim, off, hw)
@@ -102,6 +113,43 @@ func run() error {
 	fmt.Printf("online  TA / ASR: %6.2f%% / %6.2f%%\n", 100*rep.OnlineTA, 100*rep.OnlineASR)
 	fmt.Printf("N_flip offline/online: %d / %d, r_match %.2f%%\n",
 		rep.NFlipOffline, rep.NFlipOnline, rep.RMatch)
+	return nil
+}
+
+// runServe hammers the weight file while the victim keeps answering
+// queries through the batched int8 serving engine, hot-swapping each
+// round's corrupted file through the epoch path, and prints the
+// attack-under-load trajectory.
+func runServe(victim *rowhammer.Victim, off *rowhammer.Offline, hw rowhammer.HardwareConfig,
+	opts rowhammer.ServeOptions) error {
+	fmt.Printf("[3/4] victim under fire: serving with %d worker(s), batch ≤ %d, hammering live…\n",
+		opts.Workers, opts.BatchMax)
+	tl, err := rowhammer.ServeUnderFire(victim, off, hw, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("      %d/%d required flips landed, r_match %.2f%%\n",
+		tl.Online.Matched, tl.Online.Required, tl.Online.RMatch)
+	fmt.Println()
+	fmt.Println("window  round  flips  epoch      TA      ASR    alarm    simQPS    p99(µs)  shed")
+	for _, w := range tl.Windows {
+		fmt.Printf("%6d  %5d  %5d  %5d  %6.2f%%  %6.2f%%  %6.2f%%  %8.0f  %9.0f  %4d\n",
+			w.Window, w.Round, w.FlipsApplied, w.EpochSeq,
+			100*w.TA, 100*w.ASR, 100*w.AlarmRate,
+			w.SimQPS, float64(w.SimP99Ns)/1e3, w.SimShed)
+	}
+	fmt.Println()
+	if tl.Detected {
+		fmt.Printf("DeepDyve: DETECTED in window %d (baseline alarm %.2f%%), lag ≈ %d replay queries\n",
+			tl.DetectionWindow, 100*tl.BaselineAlarmRate, tl.DetectionLagQueries)
+	} else {
+		fmt.Printf("DeepDyve: not detected (baseline alarm %.2f%%)\n", 100*tl.BaselineAlarmRate)
+	}
+	if tl.LiveServed > 0 {
+		fmt.Printf("live traffic: %d served (%d shed) at %.0f QPS wall-clock, mean batch %.1f\n",
+			tl.LiveServed, tl.LiveShed, tl.LiveQPS, tl.LiveMeanBatch)
+	}
 	return nil
 }
 

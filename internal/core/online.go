@@ -59,6 +59,16 @@ type OnlineConfig struct {
 	// is treated as shared and read-only; when RetemplatePasses allows
 	// in-place mutation, the engine works on a private clone.
 	Profile *profile.Profile
+
+	// AfterRound, when non-nil, is called after each verify round with
+	// the round number and a private copy of the weight file as the
+	// victim's page cache serves it at that instant. This is the
+	// victim-under-fire seam: a serving harness hot-swaps the partially
+	// corrupted weights into the live engine between hammer rounds,
+	// measuring the model as it degrades instead of only after the
+	// attack finishes. The callback runs on the attack goroutine; the
+	// byte slice is the callee's to keep.
+	AfterRound func(round int, mapped []byte)
 }
 
 // validateRetryKnobs rejects negative retry machinery. A negative value
@@ -375,6 +385,13 @@ func ExecuteOnline(sys *memsys.System, weightFile []byte, reqs []profile.PageReq
 			NMatch:       totalMatched - len(pending),
 			Missing:      len(pending),
 		})
+		if cfg.AfterRound != nil {
+			mapped, err := victim.ReadMapped(fileBase, len(weightFile))
+			if err != nil {
+				return nil, fmt.Errorf("core: reading mapped file after round %d: %w", round, err)
+			}
+			cfg.AfterRound(round, mapped)
+		}
 		if len(pending) == 0 {
 			break
 		}

@@ -311,6 +311,61 @@ func TestTallyDeltaDenominator(t *testing.T) {
 	}
 }
 
+// TestAfterRoundHook: the victim-under-fire seam must fire once per
+// executed round, in order, with a private copy of the mapped file at
+// that instant — the last copy byte-identical to the final
+// CorruptedFile, and intermediate copies monotone in fired flips.
+func TestAfterRoundHook(t *testing.T) {
+	file, reqs := syntheticOnlineWorkload(256, 3)
+	cfg := retryConfig(4)
+	var rounds []int
+	var snaps [][]byte
+	cfg.AfterRound = func(round int, mapped []byte) {
+		rounds = append(rounds, round)
+		snaps = append(snaps, mapped)
+	}
+	res, err := ExecuteOnline(retrySystem(t, 2048, 0.4), file, reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != res.Report.RoundsExecuted() {
+		t.Fatalf("hook fired %d times over %d executed rounds", len(rounds), res.Report.RoundsExecuted())
+	}
+	for i, r := range rounds {
+		if r != i+1 {
+			t.Fatalf("hook round order %v", rounds)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if len(last) != len(res.CorruptedFile) {
+		t.Fatalf("final snapshot %d bytes, corrupted file %d", len(last), len(res.CorruptedFile))
+	}
+	for i := range last {
+		if last[i] != res.CorruptedFile[i] {
+			t.Fatalf("final snapshot diverges from CorruptedFile at byte %d", i)
+		}
+	}
+	// Corruption is monotone across rounds: every round's snapshot
+	// differs from the clean file in at least as many bits as the
+	// previous one (re-hammering only fires additional cells).
+	prev := 0
+	for i, s := range snaps {
+		d := 0
+		for j := range s {
+			for x := s[j] ^ file[j]; x != 0; x &= x - 1 {
+				d++
+			}
+		}
+		if d < prev {
+			t.Fatalf("round %d snapshot has %d flips, previous had %d", i+1, d, prev)
+		}
+		prev = d
+	}
+	if prev != res.NFlipOnline {
+		t.Fatalf("final snapshot flips %d != NFlipOnline %d", prev, res.NFlipOnline)
+	}
+}
+
 // TestUnmatchedPropagated: requirements the planner cannot place must
 // surface in OnlineResult.Unmatched instead of being silently dropped.
 func TestUnmatchedPropagated(t *testing.T) {

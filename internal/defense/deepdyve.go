@@ -1,6 +1,8 @@
 package defense
 
 import (
+	"sync"
+
 	"rowhammer/internal/data"
 	"rowhammer/internal/metrics"
 	"rowhammer/internal/tensor"
@@ -20,17 +22,28 @@ type DeepDyve struct {
 	Main metrics.Predictor
 	// Checker is the small verification model.
 	Checker metrics.Predictor
+
+	// probeOnce caches the concurrency probe: the two interface
+	// type-assertions and ConcurrentSafe calls run once per detector, not
+	// once per Infer/Evaluate call in the replay hot loop.
+	probeOnce  sync.Once
+	concurrent bool
 }
 
 // concurrentSafe reports whether both engines may be called from
-// several goroutines at once.
+// several goroutines at once. The answer is resolved on first use and
+// cached for the detector's lifetime (engines never change safety class
+// after construction).
 func (d *DeepDyve) concurrentSafe() bool {
-	m, ok := d.Main.(metrics.ConcurrentPredictor)
-	if !ok || !m.ConcurrentSafe() {
-		return false
-	}
-	c, ok := d.Checker.(metrics.ConcurrentPredictor)
-	return ok && c.ConcurrentSafe()
+	d.probeOnce.Do(func() {
+		m, ok := d.Main.(metrics.ConcurrentPredictor)
+		if !ok || !m.ConcurrentSafe() {
+			return
+		}
+		c, ok := d.Checker.(metrics.ConcurrentPredictor)
+		d.concurrent = ok && c.ConcurrentSafe()
+	})
+	return d.concurrent
 }
 
 // InferResult reports a DeepDyve-protected inference.

@@ -40,17 +40,48 @@ type ConcurrentPredictor interface {
 	ConcurrentSafe() bool
 }
 
-// evalBatches runs fn once per evaluation batch. When the predictor
-// declares itself concurrency-safe the batches are spread across the
-// persistent worker pool; each invocation owns its batch (Batches
-// copies the pixels), so fn may mutate the batch images freely but must
-// write only batch-indexed (disjoint) accumulator slots.
-func evalBatches(m Predictor, batches []data.Batch, fn func(bi int, b data.Batch)) {
-	workers := 1
+// Evaluator binds a predictor to its evaluation fan-out policy. The
+// ConcurrentSafe probe runs once, at construction — not once per metric
+// call — so hot loops that evaluate after every candidate flip (the
+// offline refinement, the defense sweeps, the serving harness) pay the
+// interface type-assertion exactly once per engine. Construct with
+// NewEvaluator and reuse across TestAccuracy/AttackSuccessRate/
+// ConfusionMatrix calls on the same engine.
+type Evaluator struct {
+	m Predictor
+	// concurrent caches the engine's ConcurrentSafe answer. The worker
+	// count itself is still resolved per call (tests and benches resize
+	// the pool with SetMaxWorkers); only the safety decision is hoisted.
+	concurrent bool
+}
+
+// NewEvaluator probes the predictor's concurrency contract once and
+// returns the bound evaluator.
+func NewEvaluator(m Predictor) *Evaluator {
+	e := &Evaluator{m: m}
 	if cp, ok := m.(ConcurrentPredictor); ok && cp.ConcurrentSafe() {
-		workers = tensor.MaxWorkers()
+		e.concurrent = true
 	}
-	tensor.ParallelChunks(len(batches), workers, func(lo, hi int) {
+	return e
+}
+
+// Workers returns the fan-out width the evaluator will use right now:
+// the worker-pool size for concurrency-safe engines, 1 otherwise.
+func (e *Evaluator) Workers() int {
+	if e.concurrent {
+		return tensor.MaxWorkers()
+	}
+	return 1
+}
+
+// evalBatches runs fn once per evaluation batch. When the predictor
+// declared itself concurrency-safe at construction the batches are
+// spread across the persistent worker pool; each invocation owns its
+// batch (Batches copies the pixels), so fn may mutate the batch images
+// freely but must write only batch-indexed (disjoint) accumulator
+// slots. Results are identical at any worker count by construction.
+func (e *Evaluator) evalBatches(batches []data.Batch, fn func(bi int, b data.Batch)) {
+	tensor.ParallelChunks(len(batches), e.Workers(), func(lo, hi int) {
 		for bi := lo; bi < hi; bi++ {
 			fn(bi, batches[bi])
 		}
@@ -59,12 +90,12 @@ func evalBatches(m Predictor, batches []data.Batch, fn func(bi int, b data.Batch
 
 // TestAccuracy returns the fraction of clean samples the model
 // classifies correctly (the TA metric).
-func TestAccuracy(m Predictor, ds *data.Dataset) float64 {
+func (e *Evaluator) TestAccuracy(ds *data.Dataset) float64 {
 	batches := ds.Batches(evalBatch)
 	correct := make([]int, len(batches))
 	total := 0
-	evalBatches(m, batches, func(bi int, b data.Batch) {
-		preds := m.Predict(b.Images)
+	e.evalBatches(batches, func(bi int, b data.Batch) {
+		preds := e.m.Predict(b.Images)
 		for i, p := range preds {
 			if p == b.Labels[i] {
 				correct[bi]++
@@ -85,13 +116,13 @@ func TestAccuracy(m Predictor, ds *data.Dataset) float64 {
 // AttackSuccessRate returns the fraction of trigger-stamped samples
 // classified as the target class (the ASR metric). Samples whose true
 // label already equals the target class are excluded, as is standard.
-func AttackSuccessRate(m Predictor, ds *data.Dataset, trigger *data.Trigger, target int) float64 {
+func (e *Evaluator) AttackSuccessRate(ds *data.Dataset, trigger *data.Trigger, target int) float64 {
 	batches := ds.Batches(evalBatch)
 	hits := make([]int, len(batches))
 	counted := make([]int, len(batches))
-	evalBatches(m, batches, func(bi int, b data.Batch) {
+	e.evalBatches(batches, func(bi int, b data.Batch) {
 		trigger.Apply(b.Images)
-		preds := m.Predict(b.Images)
+		preds := e.m.Predict(b.Images)
 		for i, p := range preds {
 			if b.Labels[i] == target {
 				continue
@@ -111,6 +142,17 @@ func AttackSuccessRate(m Predictor, ds *data.Dataset, trigger *data.Trigger, tar
 		return 0
 	}
 	return float64(sumHits) / float64(sumTotal)
+}
+
+// TestAccuracy is the one-shot form: construct an evaluator and
+// measure. Hot loops should hold an Evaluator instead.
+func TestAccuracy(m Predictor, ds *data.Dataset) float64 {
+	return NewEvaluator(m).TestAccuracy(ds)
+}
+
+// AttackSuccessRate is the one-shot form of Evaluator.AttackSuccessRate.
+func AttackSuccessRate(m Predictor, ds *data.Dataset, trigger *data.Trigger, target int) float64 {
+	return NewEvaluator(m).AttackSuccessRate(ds, trigger, target)
 }
 
 // NFlip is the paper's bit-flip count: the Hamming distance between the
@@ -142,7 +184,7 @@ func RMatch(nMatch, nFlip int, deltaPerPage float64) float64 {
 // When trigger is non-nil it is stamped on every sample first. Each
 // batch accumulates into a private matrix (disjoint slots), merged
 // after the barrier.
-func ConfusionMatrix(m Predictor, ds *data.Dataset, trigger *data.Trigger) [][]int {
+func (e *Evaluator) ConfusionMatrix(ds *data.Dataset, trigger *data.Trigger) [][]int {
 	k := ds.Classes
 	cm := make([][]int, k)
 	for i := range cm {
@@ -150,12 +192,12 @@ func ConfusionMatrix(m Predictor, ds *data.Dataset, trigger *data.Trigger) [][]i
 	}
 	batches := ds.Batches(evalBatch)
 	parts := make([][]int, len(batches))
-	evalBatches(m, batches, func(bi int, b data.Batch) {
+	e.evalBatches(batches, func(bi int, b data.Batch) {
 		part := make([]int, k*k)
 		if trigger != nil {
 			trigger.Apply(b.Images)
 		}
-		preds := m.Predict(b.Images)
+		preds := e.m.Predict(b.Images)
 		for i, p := range preds {
 			part[b.Labels[i]*k+p]++
 		}
@@ -169,4 +211,9 @@ func ConfusionMatrix(m Predictor, ds *data.Dataset, trigger *data.Trigger) [][]i
 		}
 	}
 	return cm
+}
+
+// ConfusionMatrix is the one-shot form of Evaluator.ConfusionMatrix.
+func ConfusionMatrix(m Predictor, ds *data.Dataset, trigger *data.Trigger) [][]int {
+	return NewEvaluator(m).ConfusionMatrix(ds, trigger)
 }

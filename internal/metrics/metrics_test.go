@@ -169,6 +169,45 @@ func TestMetricsParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// serialOnly hides the underlying engine's ConcurrentSafe method, so an
+// Evaluator built over it must take the single-worker fallback path.
+type serialOnly struct{ m Predictor }
+
+func (s serialOnly) Predict(x *tensor.Tensor) []int { return s.m.Predict(x) }
+
+// TestEvaluatorFallbackDeterminism covers the serialized fallback of
+// the hoisted fan-out decision: an Evaluator over a predictor that does
+// not declare ConcurrentSafe must run one worker and produce exactly
+// the numbers the concurrent evaluator computes over the same engine.
+func TestEvaluatorFallbackDeterminism(t *testing.T) {
+	qm, _, ds := quantPredictor(t)
+	tr := data.NewSquareTrigger(3, 32, 32, 3)
+
+	conc := NewEvaluator(qm)
+	if conc.Workers() < 1 {
+		t.Fatalf("concurrent evaluator workers = %d", conc.Workers())
+	}
+	serial := NewEvaluator(serialOnly{qm})
+	if got := serial.Workers(); got != 1 {
+		t.Fatalf("fallback evaluator workers = %d, want 1", got)
+	}
+
+	if a, b := conc.TestAccuracy(ds), serial.TestAccuracy(ds); a != b {
+		t.Fatalf("TA concurrent %v != fallback %v", a, b)
+	}
+	if a, b := conc.AttackSuccessRate(ds, tr, 2), serial.AttackSuccessRate(ds, tr, 2); a != b {
+		t.Fatalf("ASR concurrent %v != fallback %v", a, b)
+	}
+	cmA, cmB := conc.ConfusionMatrix(ds, tr), serial.ConfusionMatrix(ds, tr)
+	for i := range cmA {
+		for j := range cmA[i] {
+			if cmA[i][j] != cmB[i][j] {
+				t.Fatalf("cm[%d][%d] concurrent %d != fallback %d", i, j, cmA[i][j], cmB[i][j])
+			}
+		}
+	}
+}
+
 // TestMetricsQuantAgreesWithFloat checks the two engines see the same
 // dataset-level numbers within the quantization tolerance (TA/ASR are
 // fractions over 160 samples, so a handful of borderline samples is the

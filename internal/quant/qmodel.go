@@ -3,6 +3,7 @@ package quant
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"rowhammer/internal/nn"
 	"rowhammer/internal/tensor"
@@ -36,13 +37,16 @@ import (
 // CNHW input — no per-sample kernel launches and no layout shuffles in
 // the hot loop.
 //
-// Weight panels are packed once per tensor and cached; the quantizer's
-// code-change notifications invalidate exactly the touched tensor, so a
-// SetCode/FlipBit re-packs one layer and the next Forward reuses
-// everything else. Forward is safe for concurrent use when
-// ConcurrentSafe reports true (no fallback float layers, whose caches
-// are per-layer state). Mutating codes concurrently with Forward is not
-// supported, mirroring the float model.
+// Weight panels and fused epilogue coefficients live in published
+// epoch snapshots (epoch.go): the quantizer's code-change notifications
+// mark exactly the touched slots dirty, and the next publish repacks
+// one layer and structurally shares everything else. Forward pins one
+// immutable epoch per call — two atomic ops, no lock on the clean hot
+// path — so it is safe for concurrent use when ConcurrentSafe reports
+// true (no fallback float layers, whose caches are per-layer state).
+// Mutating codes concurrently with Forward is supported only through
+// Exclusive, which publishes the post-mutation epoch before returning;
+// plain SetCode/FlipBit with concurrent forwards remains unsupported.
 type QModel struct {
 	q     *Quantizer
 	model *nn.Model
@@ -50,8 +54,21 @@ type QModel struct {
 
 	// hasFallback marks plans that execute stateful float layers.
 	hasFallback bool
-	// packs maps parameter-tensor index → the pack cache to invalidate.
-	packs map[int]*packCache
+
+	// Epoch engine state (epoch.go): the published snapshot, the dirty
+	// bookkeeping feeding the next publish, and the retirement gauge.
+	mu          sync.Mutex
+	cur         atomic.Pointer[epoch]
+	anyDirty    atomic.Bool
+	gemms       []gemmOp
+	panelsDirty []bool
+	coeffsDirty []bool
+	liveEpochs  atomic.Int64
+	// paramPanelSlot / paramCoeffSlot map parameter-tensor index → the
+	// epoch slot whose panels / epilogue coefficients the parameter
+	// feeds (-1 when none: fallback-layer params).
+	paramPanelSlot []int
+	paramCoeffSlot []int
 
 	// paramStage maps parameter-tensor index → the top-level op (stage)
 	// that reads it, or -1 when no op does. A code change to parameter
@@ -72,21 +89,11 @@ func NewQModel(q *Quantizer) *QModel {
 	qm := &QModel{
 		q:     q,
 		model: q.Model(),
-		packs: make(map[int]*packCache),
 	}
 	qm.ops = qm.compile([]nn.Layer{q.Model().Root})
 	qm.buildStageIndex()
-	q.OnCodesChanged(func(pi int) {
-		if pi == AllParams {
-			for _, pc := range qm.packs {
-				pc.invalidate()
-			}
-			return
-		}
-		if pc, ok := qm.packs[pi]; ok {
-			pc.invalidate()
-		}
-	})
+	qm.initEpochs()
+	q.OnCodesChanged(qm.markDirty)
 	return qm
 }
 
@@ -104,8 +111,10 @@ func (qm *QModel) ConcurrentSafe() bool { return !qm.hasFallback }
 // Forward runs the quantized network on a batch — (N, C, H, W), or
 // (N, F) for flat-input models — and returns logits (N, K).
 func (qm *QModel) Forward(x *tensor.Tensor) *tensor.Tensor {
+	ep := qm.acquireEpoch()
+	defer ep.release()
 	in := tensorToAct(x)
-	out := runOps(qm.ops, nil, in)
+	out := runOps(qm.ops, &execEnv{ep: ep}, in)
 	logits := actToLogits(out)
 	if out != in {
 		putAct(out)
@@ -215,28 +224,43 @@ func runOps(ops []qOp, ec *execEnv, in *qact) *qact {
 	return cur
 }
 
-// execEnv carries per-invocation execution state: an optional packed-
-// panel override for exactly one weight tensor. The scorer's concurrent
-// candidate fan-out uses it to run a suffix forward "as if" a single
+// execEnv carries per-invocation execution state: the pinned epoch the
+// forward reads (nil for single-goroutine callers, which resolve the
+// current epoch lazily per op) and an optional packed-panel override
+// for exactly one weight tensor. The scorer's concurrent candidate
+// fan-out uses the override to run a suffix forward "as if" a single
 // code were changed, without mutating the shared quantizer or the
-// shared pack caches.
+// published epochs.
 type execEnv struct {
+	// ep is the epoch snapshot pinned for the whole invocation. When
+	// nil, ops resolve QModel.readEpoch per op — correct only under the
+	// single-goroutine mutation contract the scorer operates in.
+	ep *epoch
 	// target selects the weight binding to override.
 	target *qweights
 	// panels is the replacement packed-panel buffer for target, packed
 	// from the candidate's modified codes with the same PackAI8 layout
-	// the shared cache uses, so the GEMM output is bit-identical to a
-	// SetCode + repack.
+	// the epoch slots use, so the GEMM output is bit-identical to a
+	// SetCode + publish.
 	panels []int16
 }
 
-// panelsOf resolves an op's packed panels: the shared cache, or the
-// execEnv override when this op's weights are the override target.
-func (ec *execEnv) panelsOf(w *qweights, m, k int) []int16 {
+// slotOf resolves an op's epoch slot: the pinned epoch's when one is
+// carried, the current epoch's otherwise.
+func (ec *execEnv) slotOf(w *qweights) *epochSlot {
+	if ec != nil && ec.ep != nil {
+		return &ec.ep.slots[w.eidx]
+	}
+	return &w.qm.readEpoch().slots[w.eidx]
+}
+
+// panelsOf returns the packed panels for an op given its resolved slot,
+// honoring the override when this op's weights are the override target.
+func (ec *execEnv) panelsOf(w *qweights, sl *epochSlot) []int16 {
 	if ec != nil && ec.target == w {
 		return ec.panels
 	}
-	return w.pack.panelsFor(w.codes, m, k)
+	return sl.panels
 }
 
 // opInPlace reports whether the op may return its (mutated) input
@@ -318,51 +342,29 @@ func quantizeSlice(dst []int8, src []float32) float32 {
 }
 
 // ---------------------------------------------------------------------
-// Packed-weight cache with incremental invalidation.
+// Weight bindings. Packed panels live in the published epoch snapshots
+// (epoch.go), not here: a binding only records where the live codes are
+// and which epoch slot serves this op.
 
-type packCache struct {
-	mu     sync.Mutex
-	valid  bool
-	panels []int16
-}
-
-func (pc *packCache) invalidate() {
-	pc.mu.Lock()
-	pc.valid = false
-	pc.mu.Unlock()
-}
-
-// panelsFor returns the packed panels, repacking under the lock when a
-// code change invalidated them. Concurrent forwards share the result.
-func (pc *packCache) panelsFor(codes []int8, m, k int) []int16 {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if !pc.valid {
-		need := tensor.PackAI8Len(m, k)
-		if cap(pc.panels) < need {
-			pc.panels = make([]int16, need)
-		}
-		pc.panels = pc.panels[:need]
-		tensor.PackAI8(pc.panels, codes, m, k)
-		pc.valid = true
-	}
-	return pc.panels
-}
-
-// qweights binds an op to its live code segment, pack cache and packed
-// GEMM geometry (m × k row-major codes).
+// qweights binds an op to its live code segment, packed GEMM geometry
+// (m × k row-major codes) and epoch slot.
 type qweights struct {
 	codes []int8
 	scale float32
 	m, k  int
-	pack  packCache
+	// eidx is the op's epoch-slot index; qm resolves slots for
+	// single-goroutine callers that carry no pinned epoch.
+	eidx int
+	qm   *QModel
 }
+
+func (w *qweights) binding() *qweights { return w }
 
 func (qm *QModel) bindWeights(w *qweights, p *nn.Param, m, k int) {
 	pi := qm.q.ParamIndexOf(p)
 	w.codes, w.scale = qm.q.ParamCodes(pi)
 	w.m, w.k = m, k
-	qm.packs[pi] = &w.pack
+	w.qm = qm
 }
 
 // buildStageIndex derives, for every parameter tensor, the top-level
@@ -372,8 +374,12 @@ func (qm *QModel) bindWeights(w *qweights, p *nn.Param, m, k int) {
 func (qm *QModel) buildStageIndex() {
 	nparams := len(qm.model.Params())
 	qm.paramStage = make([]int, nparams)
+	qm.paramPanelSlot = make([]int, nparams)
+	qm.paramCoeffSlot = make([]int, nparams)
 	for i := range qm.paramStage {
 		qm.paramStage[i] = -1
+		qm.paramPanelSlot[i] = -1
+		qm.paramCoeffSlot[i] = -1
 	}
 	qm.paramWeight = make([]*qweights, nparams)
 	for si, op := range qm.ops {
@@ -382,7 +388,11 @@ func (qm *QModel) buildStageIndex() {
 }
 
 func (qm *QModel) indexOpParams(stage int, op qOp) {
-	bind := func(p *nn.Param, w *qweights) {
+	// bind records the stage of parameter p; w non-nil marks it a
+	// lowered GEMM weight (its flips stale the slot's packed panels),
+	// coeffSlot ≥ 0 marks it an epilogue input (bias/BN affine — its
+	// flips stale the slot's folded coefficients).
+	bind := func(p *nn.Param, w *qweights, coeffSlot int) {
 		if p == nil {
 			return
 		}
@@ -395,19 +405,23 @@ func (qm *QModel) indexOpParams(stage int, op qOp) {
 		}
 		if w != nil && qm.paramWeight[pi] == nil {
 			qm.paramWeight[pi] = w
+			qm.paramPanelSlot[pi] = w.eidx
+		}
+		if coeffSlot >= 0 && qm.paramCoeffSlot[pi] < 0 {
+			qm.paramCoeffSlot[pi] = coeffSlot
 		}
 	}
 	switch v := op.(type) {
 	case *qConvOp:
-		bind(v.conv.Weight, &v.qweights)
-		bind(v.conv.Bias, nil)
+		bind(v.conv.Weight, &v.qweights, -1)
+		bind(v.conv.Bias, nil, v.eidx)
 		if v.bn != nil {
-			bind(v.bn.Gamma, nil)
-			bind(v.bn.Beta, nil)
+			bind(v.bn.Gamma, nil, v.eidx)
+			bind(v.bn.Beta, nil, v.eidx)
 		}
 	case *qLinearOp:
-		bind(v.lin.Weight, &v.qweights)
-		bind(v.lin.Bias, nil)
+		bind(v.lin.Weight, &v.qweights, -1)
+		bind(v.lin.Bias, nil, v.eidx)
 	case *qResidualOp:
 		for _, sub := range v.main {
 			qm.indexOpParams(stage, sub)
@@ -418,7 +432,7 @@ func (qm *QModel) indexOpParams(stage int, op qOp) {
 	case *qFallbackOp:
 		for _, l := range v.layers {
 			for _, p := range l.Params() {
-				bind(p, nil)
+				bind(p, nil, -1)
 			}
 		}
 	}
@@ -476,6 +490,7 @@ func (qm *QModel) compile(layers []nn.Layer) []qOp {
 			}
 			inC, outC, kh, kw, _, _ := v.Geom()
 			qm.bindWeights(&op.qweights, v.Weight, outC, inC*kh*kw)
+			qm.registerGemm(op)
 			ops = append(ops, op)
 		case *nn.Linear:
 			flush()
@@ -488,6 +503,7 @@ func (qm *QModel) compile(layers []nn.Layer) []qOp {
 			}
 			inF, outF := v.Dims()
 			qm.bindWeights(&op.qweights, v.Weight, outF, inF)
+			qm.registerGemm(op)
 			ops = append(ops, op)
 		case *nn.ReLU:
 			flush()
@@ -550,20 +566,30 @@ func (op *qConvOp) forward(ec *execEnv, in *qact) *qact {
 	})
 	tensor.PutI8(xq)
 
+	sl := ec.slotOf(&op.qweights)
 	acc := tensor.GetI32(outC * ncols)
-	pa := ec.panelsOf(&op.qweights, outC, ckk)
+	pa := ec.panelsOf(&op.qweights, sl)
 	tensor.GemmI8PackedA(acc, pa, outC, ckk, bcol, ncols)
 	tensor.PutI8(bcol)
 
 	out := getAct(outC, n, oh, ow)
-	mul := tensor.GetF32(outC)
-	shift := tensor.GetF32(outC)
-	op.epilogueCoeffs(sx, mul, shift)
+	base := sx * op.scale
+	cA, cS := sl.cA, sl.cS
 	relu := op.relu
 	od := out.data
 	tensor.ParallelChunks(outC, workersFor(outC*ncols), func(lo, hi int) {
 		for oc := lo; oc < hi; oc++ {
-			mo, so := mul[oc], shift[oc]
+			// mo/so reproduce the pre-epoch epilogue bit for bit: the
+			// sx-independent factors were folded at publish time with the
+			// exact expressions the per-forward path used.
+			mo := base
+			if cA != nil {
+				mo = base * cA[oc]
+			}
+			var so float32
+			if cS != nil {
+				so = cS[oc]
+			}
 			src := acc[oc*ncols : (oc+1)*ncols]
 			dst := od[oc*ncols : (oc+1)*ncols]
 			if relu {
@@ -581,45 +607,43 @@ func (op *qConvOp) forward(ec *execEnv, in *qact) *qact {
 			}
 		}
 	})
-	tensor.PutF32(mul)
-	tensor.PutF32(shift)
 	tensor.PutI32(acc)
 	return out
 }
 
-// epilogueCoeffs folds sx·sw, the conv bias and the BN affine into
-// per-channel (mul, shift), read live from the model floats so flips to
-// bias/gamma/beta params are honored without any cache plumbing.
-func (op *qConvOp) epilogueCoeffs(sx float32, mul, shift []float32) {
-	base := sx * op.scale
+// epochCoeffs folds the conv bias and the BN affine (running statistics
+// included) into the per-channel epilogue factors of one epoch slot:
+// the final multiplier is sx·Δw·cA and the shift is cS, exactly the
+// (mul, shift) the engine computed per forward before epochs. Called at
+// publish time from the epoch rebuild.
+func (op *qConvOp) epochCoeffs() (cA, cS []float32) {
+	_, outC, _, _, _, _ := op.conv.Geom()
 	var bias []float32
 	if op.conv.Bias != nil {
 		bias = op.conv.Bias.W.Data()
 	}
 	if op.bn == nil {
-		for oc := range mul {
-			mul[oc] = base
-			if bias != nil {
-				shift[oc] = bias[oc]
-			} else {
-				shift[oc] = 0
-			}
+		if bias == nil {
+			return nil, nil // multiplier is the base, shift is zero
 		}
-		return
+		return nil, append([]float32(nil), bias...)
 	}
+	cA = make([]float32, outC)
+	cS = make([]float32, outC)
 	g := op.bn.Gamma.W.Data()
 	bt := op.bn.Beta.W.Data()
 	eps := float64(op.bn.Eps())
-	for oc := range mul {
+	for oc := 0; oc < outC; oc++ {
 		istd := float32(1 / math.Sqrt(float64(op.bn.RunningVar[oc])+eps))
 		a := g[oc] * istd
-		mul[oc] = base * a
+		cA[oc] = a
 		s := bt[oc] - op.bn.RunningMean[oc]*a
 		if bias != nil {
 			s += bias[oc] * a
 		}
-		shift[oc] = s
+		cS[oc] = s
 	}
+	return cA, cS
 }
 
 // qLinearOp is a fused Linear[+ReLU] on int8 codes. The channel-major
@@ -630,6 +654,15 @@ type qLinearOp struct {
 	qweights
 	lin  *nn.Linear
 	relu bool
+}
+
+// epochCoeffs snapshots the (quantized, flippable) bias into the slot's
+// shift vector; the multiplier is always the dynamic sx·Δw base.
+func (op *qLinearOp) epochCoeffs() (cA, cS []float32) {
+	if op.lin.Bias == nil {
+		return nil, nil
+	}
+	return nil, append([]float32(nil), op.lin.Bias.W.Data()...)
 }
 
 func (op *qLinearOp) forward(ec *execEnv, in *qact) *qact {
@@ -691,17 +724,15 @@ func (op *qLinearOp) forward(ec *execEnv, in *qact) *qact {
 		sx = maxAbs / qmax
 	}
 
+	sl := ec.slotOf(&op.qweights)
 	acc := tensor.GetI32(outF * n)
-	pa := ec.panelsOf(&op.qweights, outF, inF)
+	pa := ec.panelsOf(&op.qweights, sl)
 	tensor.GemmI8PackedA(acc, pa, outF, inF, xq, n)
 	tensor.PutI8(xq)
 
 	out := getAct(outF, n, 1, 1)
 	mulS := sx * op.scale
-	var bias []float32
-	if op.lin.Bias != nil {
-		bias = op.lin.Bias.W.Data()
-	}
+	bias := sl.cS
 	od := out.data
 	for o := 0; o < outF; o++ {
 		var b float32

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LiveStats is the wall-clock traffic accounting: lock-free counters on
+// the serving path, aggregated into a snapshot on demand. Latencies are
+// histogrammed into power-of-two nanosecond buckets, so the reported
+// quantiles are upper bounds within a factor of two — plenty for the
+// load trajectory, while keeping the record path to a few atomic adds.
+type LiveStats struct {
+	start        time.Time
+	served       atomic.Int64
+	shed         atomic.Int64
+	batches      atomic.Int64
+	batchSamples atomic.Int64
+	buckets      [64]atomic.Int64
+}
+
+// record accounts one served request with its end-to-end latency.
+func (s *LiveStats) record(lat time.Duration) {
+	if lat < 0 {
+		lat = 0
+	}
+	s.served.Add(1)
+	s.batchSamples.Add(1)
+	s.buckets[bits.Len64(uint64(lat))].Add(1)
+}
+
+// recordBatch accounts one executed batch.
+func (s *LiveStats) recordBatch() { s.batches.Add(1) }
+
+// LiveSnapshot is a point-in-time aggregate of LiveStats.
+type LiveSnapshot struct {
+	// Served and Shed count requests answered and shed since start.
+	Served, Shed int64
+	// Batches is the number of engine invocations; MeanBatch is
+	// Served/Batches — the micro-batching amortization factor.
+	Batches   int64
+	MeanBatch float64
+	// QPS is served requests per wall-clock second since start.
+	QPS float64
+	// P50 and P99 are latency quantile upper bounds (power-of-two
+	// bucket resolution).
+	P50, P99 time.Duration
+}
+
+// Snapshot aggregates the counters.
+func (s *LiveStats) Snapshot() LiveSnapshot {
+	snap := LiveSnapshot{
+		Served:  s.served.Load(),
+		Shed:    s.shed.Load(),
+		Batches: s.batches.Load(),
+	}
+	if snap.Batches > 0 {
+		snap.MeanBatch = float64(s.batchSamples.Load()) / float64(snap.Batches)
+	}
+	if el := time.Since(s.start).Seconds(); el > 0 {
+		snap.QPS = float64(snap.Served) / el
+	}
+	snap.P50 = s.quantile(snap.Served, 50)
+	snap.P99 = s.quantile(snap.Served, 99)
+	return snap
+}
+
+// quantile returns the upper bound of the bucket where the q-th
+// percentile of n recorded latencies falls.
+func (s *LiveStats) quantile(n int64, q int64) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	rank := (n*q + 99) / 100
+	var cum int64
+	for i := range s.buckets {
+		cum += s.buckets[i].Load()
+		if cum >= rank {
+			return time.Duration(uint64(1) << uint(i))
+		}
+	}
+	return time.Duration(1<<63 - 1)
+}

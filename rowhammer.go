@@ -11,6 +11,7 @@ import (
 	"rowhammer/internal/models"
 	"rowhammer/internal/pretrain"
 	"rowhammer/internal/quant"
+	"rowhammer/internal/serve"
 )
 
 // Trigger is the backdoor input pattern Δx (a square patch whose pixels
@@ -22,6 +23,9 @@ type Trigger = data.Trigger
 type Victim struct {
 	result *pretrain.Result
 	cfg    models.Config
+	dcfg   data.SynthConfig
+	epochs int
+	seed   int64
 }
 
 // VictimConfig selects the victim model and training scale.
@@ -76,7 +80,7 @@ func TrainVictim(cfg VictimConfig) (*Victim, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Victim{result: res, cfg: mcfg}, nil
+	return &Victim{result: res, cfg: mcfg, dcfg: dcfg, epochs: cfg.Epochs, seed: cfg.Seed}, nil
 }
 
 // CleanAccuracy returns the victim's clean test accuracy.
@@ -172,9 +176,9 @@ func InjectBackdoor(v *Victim, cfg AttackConfig) (*Offline, error) {
 // runs on the int8 engine — the deployment form whose codes the attack
 // actually flips — with batches fanned out across the worker pool.
 func (o *Offline) OfflineMetrics() (ta, asr float64) {
-	m := quant.NewQModel(o.inner.Quantizer)
+	ev := metrics.NewEvaluator(quant.NewQModel(o.inner.Quantizer))
 	test := o.model.victim.result.Test
-	return metrics.TestAccuracy(m, test), metrics.AttackSuccessRate(m, test, o.inner.Trigger, o.target)
+	return ev.TestAccuracy(test), ev.AttackSuccessRate(test, o.inner.Trigger, o.target)
 }
 
 // HardwareConfig selects the simulated DRAM system the online phase
@@ -380,12 +384,192 @@ func Evaluate(v *Victim, off *Offline, on *Online) (*Report, error) {
 	qv := quant.NewQuantizer(victimModel)
 	qv.LoadWeightFileBytes(on.inner.CorruptedFile)
 	// The victim serves the corrupted file through the int8 engine —
-	// exactly what deployment-form quantized inference would run.
-	qm := quant.NewQModel(qv)
+	// exactly what deployment-form quantized inference would run. The
+	// evaluator probes the engine's concurrency contract once and reuses
+	// the decision for both metrics.
+	ev := metrics.NewEvaluator(quant.NewQModel(qv))
 	test := v.result.Test
-	rep.OnlineTA = metrics.TestAccuracy(qm, test)
-	rep.OnlineASR = metrics.AttackSuccessRate(qm, test, off.Trigger, off.target)
+	rep.OnlineTA = ev.TestAccuracy(test)
+	rep.OnlineASR = ev.AttackSuccessRate(test, off.Trigger, off.target)
 	return rep, nil
+}
+
+// ServeOptions configures the victim-under-fire run: the live serving
+// scenario where the online attack hammers weights while the victim
+// answers queries and DeepDyve watches for disagreement.
+type ServeOptions struct {
+	// Workers is the server's executor count (default 1).
+	Workers int
+	// BatchMax is the micro-batch size cap (default 32).
+	BatchMax int
+	// ReplayQueries is the detector replay volume per measurement
+	// window (default 256).
+	ReplayQueries int
+	// TriggerFraction is the share of replay queries carrying the
+	// trigger (default 0.5).
+	TriggerFraction float64
+	// LiveClients drives that many real blocking request loops through
+	// the server for wall-clock stats (default 0 = off).
+	LiveClients int
+	// Seed fixes the replay and simulated-arrival streams (default:
+	// the hardware seed).
+	Seed int64
+	// CheckerSeed seeds the DeepDyve checker's training (default:
+	// victim seed + 1000). The checker is a resnet20 trained on the
+	// victim's task, served int8 like the victim.
+	CheckerSeed int64
+}
+
+// ServeWindow is one window of the attack-under-load timeline: window 0
+// is the intact victim, window k the state after hammer round k.
+type ServeWindow struct {
+	Window, Round int
+	// FlipsApplied is the cumulative bit distance from the clean
+	// deployment; EpochSeq the engine snapshot serving at the time.
+	FlipsApplied int
+	EpochSeq     uint64
+	// TA/ASR are the victim's live accuracy and attack success rate.
+	TA, ASR float64
+	// AlarmRate is DeepDyve's disagreement rate over the window's
+	// replay stream.
+	AlarmRate float64
+	// SimQPS/SimP50Ns/SimP99Ns/SimShed are the window's deterministic
+	// virtual-time service quality.
+	SimQPS             float64
+	SimP50Ns, SimP99Ns int64
+	SimShed            int
+}
+
+// ServeTimeline is the full victim-under-fire result: the online attack
+// outcome plus the interleaved serving/detection trajectory.
+type ServeTimeline struct {
+	// Online is the attack outcome, as HammerOnline reports it.
+	Online *Online
+	// Windows is the deterministic timeline (fixed seed, any worker
+	// count).
+	Windows           []ServeWindow
+	BaselineAlarmRate float64
+	Detected          bool
+	// DetectionWindow / DetectionLagQueries locate detection on the
+	// timeline (-1 when the replay stream never alarmed above
+	// baseline).
+	DetectionWindow     int
+	DetectionLagQueries int
+	// LiveQPS/LiveServed/LiveShed/LiveMeanBatch are wall-clock traffic
+	// numbers when LiveClients > 0 (not deterministic, not part of the
+	// report contract).
+	LiveQPS       float64
+	LiveServed    int64
+	LiveShed      int64
+	LiveMeanBatch float64
+}
+
+// ServeUnderFire runs the online attack against a victim that keeps
+// serving: the weight file is hammered round by round, each round's
+// partially corrupted file is hot-swapped into the live int8 engine
+// through the torn-read-safe epoch path, and every swap closes a
+// measurement window recording live TA/ASR, the DeepDyve alarm rate
+// over a deterministic replay stream, and simulated service quality.
+func ServeUnderFire(v *Victim, off *Offline, hw HardwareConfig, opts ServeOptions) (*ServeTimeline, error) {
+	profileDev, err := hw.resolveDevice()
+	if err != nil {
+		return nil, err
+	}
+	moduleMB := orInt(hw.ModuleMB, 192)
+	mod, err := dram.NewModuleForSize(moduleMB<<20, profileDev, orI64(hw.Seed, 7))
+	if err != nil {
+		return nil, err
+	}
+	sys := memsys.NewSystem(mod)
+	if f := hw.faultModel(); f != (dram.FaultModel{}) {
+		sys.InjectFaults(f)
+	}
+	cleanFile, err := victimWeightFile(v)
+	if err != nil {
+		return nil, err
+	}
+
+	// The serving victim: a fresh clone quantized to the clean
+	// deployment, served through the int8 epoch engine.
+	servingModel, err := pretrain.CloneModel(v.cfg, v.result.Model)
+	if err != nil {
+		return nil, err
+	}
+	engine := quant.NewQModel(quant.NewQuantizer(servingModel))
+
+	// The DeepDyve checker: a small model trained on the same task with
+	// a different seed, served int8 so the whole protocol runs on
+	// concurrency-safe engines.
+	checkerRes, err := pretrain.TrainCached(pretrain.Config{
+		Model: models.Config{Arch: "resnet20", Classes: v.cfg.Classes,
+			WidthMult: 0.25, Seed: orI64(opts.CheckerSeed, v.seed+1000)},
+		Data:   v.dcfg,
+		Epochs: v.epochs,
+		Seed:   orI64(opts.CheckerSeed, v.seed+1000),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rowhammer: training checker: %w", err)
+	}
+	checkerModel, err := pretrain.CloneModel(
+		models.Config{Arch: "resnet20", Classes: v.cfg.Classes, WidthMult: 0.25,
+			Seed: orI64(opts.CheckerSeed, v.seed+1000)}, checkerRes.Model)
+	if err != nil {
+		return nil, err
+	}
+	checker := quant.NewQModel(quant.NewQuantizer(checkerModel))
+
+	fire := serve.Fire{
+		Engine:  engine,
+		Checker: checker,
+		Eval:    v.result.Test,
+		Trigger: off.Trigger,
+		Target:  off.target,
+		Serve: serve.Config{
+			BatchMax: orInt(opts.BatchMax, 32),
+			Workers:  orInt(opts.Workers, 1),
+		},
+		Cfg: serve.FireConfig{
+			Seed:            orI64(opts.Seed, orI64(hw.Seed, 7)),
+			ReplayQueries:   opts.ReplayQueries,
+			TriggerFraction: opts.TriggerFraction,
+			LiveClients:     opts.LiveClients,
+		},
+	}
+
+	reqs := core.RequirementsFromCodes(off.inner.OrigCodes, off.inner.BackdooredCodes)
+	var onres *core.OnlineResult
+	rep, live, err := serve.RunUnderFire(fire, func(apply func(round int, mapped []byte)) error {
+		ocfg := hw.onlineConfig(len(cleanFile) / memsys.PageSize)
+		ocfg.AfterRound = apply
+		var aerr error
+		onres, aerr = core.ExecuteOnline(sys, cleanFile, reqs, ocfg)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tl := &ServeTimeline{
+		Online:              wrapOnline(onres),
+		BaselineAlarmRate:   rep.BaselineAlarmRate,
+		Detected:            rep.Detected,
+		DetectionWindow:     rep.DetectionWindow,
+		DetectionLagQueries: rep.DetectionLagQueries,
+		LiveQPS:             live.QPS,
+		LiveServed:          live.Served,
+		LiveShed:            live.Shed,
+		LiveMeanBatch:       live.MeanBatch,
+	}
+	for _, w := range rep.Windows {
+		tl.Windows = append(tl.Windows, ServeWindow{
+			Window: w.Window, Round: w.Round,
+			FlipsApplied: w.FlipsApplied, EpochSeq: w.EpochSeq,
+			TA: w.TA, ASR: w.ASR, AlarmRate: w.AlarmRate,
+			SimQPS: w.SimQPS, SimP50Ns: w.SimP50Ns, SimP99Ns: w.SimP99Ns,
+			SimShed: w.SimShed,
+		})
+	}
+	return tl, nil
 }
 
 func orInt(v, def int) int {

@@ -64,6 +64,75 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		rep.CleanAccuracy, rep.OfflineTA, rep.OfflineASR, rep.OnlineTA, rep.OnlineASR, rep.RMatch)
 }
 
+// TestServeUnderFireEndToEnd drives the victim-under-fire façade: the
+// online attack runs against a live batched serving engine, each hammer
+// round hot-swaps the corrupted file into the victim, and the timeline
+// records the degradation/detection trajectory.
+func TestServeUnderFireEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: trains victim and checker models; run without -short")
+	}
+	victim, err := TrainVictim(VictimConfig{Arch: "resnet20", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := InjectBackdoor(victim, AttackConfig{TargetClass: 2, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := HardwareConfig{Seed: 3, Rounds: 3}
+	tl, err := ServeUnderFire(victim, off, hw, ServeOptions{
+		Workers: 2, ReplayQueries: 128, LiveClients: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Online == nil || tl.Online.Matched == 0 {
+		t.Fatal("attack achieved nothing under fire")
+	}
+	wantWindows := len(tl.Online.Rounds) + 1
+	if len(tl.Windows) != wantWindows {
+		t.Fatalf("windows = %d, want baseline + %d rounds", len(tl.Windows), wantWindows-1)
+	}
+	w0 := tl.Windows[0]
+	if w0.FlipsApplied != 0 || w0.Round != 0 {
+		t.Fatalf("baseline window not clean: %+v", w0)
+	}
+	last := tl.Windows[len(tl.Windows)-1]
+	if last.FlipsApplied == 0 {
+		t.Fatal("no flips ever reached the serving engine")
+	}
+	if last.EpochSeq <= w0.EpochSeq {
+		t.Fatalf("epoch never advanced: %d → %d", w0.EpochSeq, last.EpochSeq)
+	}
+	if w0.TA <= 0 || last.TA <= 0 || last.SimQPS <= 0 {
+		t.Fatalf("degenerate window stats: first %+v last %+v", w0, last)
+	}
+	if tl.LiveServed == 0 {
+		t.Fatal("live clients served no traffic")
+	}
+
+	// The timeline is deterministic: a re-run at a different worker
+	// count reproduces every window (live traffic numbers aside).
+	tl2, err := ServeUnderFire(victim, off, hw, ServeOptions{
+		Workers: 4, ReplayQueries: 128, LiveClients: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl2.Windows) != len(tl.Windows) {
+		t.Fatalf("re-run windows %d != %d", len(tl2.Windows), len(tl.Windows))
+	}
+	for i := range tl.Windows {
+		if tl.Windows[i] != tl2.Windows[i] {
+			t.Fatalf("window %d differs across worker counts:\n%+v\n%+v", i, tl.Windows[i], tl2.Windows[i])
+		}
+	}
+	t.Logf("under fire: baseline TA %.3f alarm %.3f → final TA %.3f ASR %.3f alarm %.3f, %d flips, detected=%v lag=%d queries, live QPS %.1f (batch %.1f)",
+		w0.TA, w0.AlarmRate, last.TA, last.ASR, last.AlarmRate, last.FlipsApplied,
+		tl.Detected, tl.DetectionLagQueries, tl.LiveQPS, tl.LiveMeanBatch)
+}
+
 // TestRunFleetMatchesHammerOnline pins the fleet engine to the
 // single-module path: a no-fault fleet campaign corrupts the weight
 // file byte-for-byte as HammerOnline would, identical modules share one
