@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test-short test-race bench-kernels bench-eval bench-train bench-online bench-module bench-campaign bench-offline bench-serve check-bench vet
+.PHONY: build test-short test-race run-campaignd bench-kernels bench-eval bench-train bench-online bench-module bench-campaign bench-offline bench-serve check-bench vet
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,18 @@ test-short:
 ## evaluation, the batched serving engine in internal/serve, the
 ## data-parallel trainer incl. the RunOffline short-mode determinism and
 ## suffix-refinement tests in internal/core, the parallel templating
-## engine: profile, sidechan, memsys, and the fault-injection pass
-## counters in internal/dram).
+## engine: profile, sidechan, memsys, the fault-injection pass
+## counters in internal/dram, and the campaign engine plus the campaignd
+## daemon core — cancellation unwind, single-flight abort/re-election,
+## and the kill/resume checkpoint test — in internal/campaign{,/server}).
 test-race:
-	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/serve ./internal/core ./internal/profile ./internal/sidechan ./internal/memsys ./internal/dram ./internal/campaign
+	$(GO) test -race -short ./internal/tensor ./internal/nn ./internal/quant ./internal/metrics ./internal/serve ./internal/core ./internal/profile ./internal/sidechan ./internal/memsys ./internal/dram ./internal/campaign ./internal/campaign/server
+
+## run-campaignd: campaignd smoke run — boots the daemon core, submits
+## the built-in two-SKU demo fleet through the real HTTP stack, streams
+## its results, and exits non-zero unless every campaign succeeds.
+run-campaignd:
+	$(GO) run ./cmd/campaignd -demo
 
 ## bench-kernels: blocked-GEMM and conv hot-path benchmarks with
 ## allocation counts. Naive twins run alongside for the speedup ratio.

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	backdoor -arch resnet20 -target 2 -width 0.25 -device "" -sides 2
+//
+// -fleet N runs the online phase as N concurrent campaigns through the
+// fleet engine (one in-process sweep). For long-running orchestration —
+// a durable fleet queue, streaming results over HTTP, and
+// checkpoint/resume across daemon restarts — use cmd/campaignd instead.
 package main
 
 import (

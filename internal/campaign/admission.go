@@ -1,6 +1,9 @@
 package campaign
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // byteSem is the admission controller: a FIFO weighted semaphore over
 // estimated in-flight module-arena bytes. It bounds how much DRAM
@@ -27,14 +30,21 @@ func newByteSem(capacity int64) *byteSem {
 	return &byteSem{capacity: capacity}
 }
 
-// acquire blocks until n bytes fit under the cap and returns the amount
-// actually reserved — n clamped to the cap, so a single oversized
-// campaign still admits (alone) instead of deadlocking. Waiters are
-// served strictly first-come-first-served; a small request never jumps
-// a large one, so admission order is starvation-free.
-func (s *byteSem) acquire(n int64) int64 {
+// acquire blocks until n bytes fit under the cap or ctx is cancelled,
+// and returns the amount actually reserved — n clamped to the cap, so a
+// single oversized campaign still admits (alone) instead of
+// deadlocking. Waiters are served strictly first-come-first-served; a
+// small request never jumps a large one, so admission order is
+// starvation-free. On cancellation the waiter is unlinked from the
+// queue (or, if the grant raced the cancel, its reservation is returned)
+// and acquire reports ctx's error with nothing held — a cancelled fleet
+// leaves no queued waiter goroutines behind.
+func (s *byteSem) acquire(ctx context.Context, n int64) (int64, error) {
 	if n < 0 {
 		n = 0
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	s.mu.Lock()
 	if s.capacity > 0 && n > s.capacity {
@@ -43,13 +53,33 @@ func (s *byteSem) acquire(n int64) int64 {
 	if len(s.waiters) == 0 && (s.capacity == 0 || s.used+n <= s.capacity) {
 		s.grant(n)
 		s.mu.Unlock()
-		return n
+		return n, nil
 	}
 	w := &byteWaiter{n: n, ch: make(chan struct{})}
 	s.waiters = append(s.waiters, w)
 	s.mu.Unlock()
-	<-w.ch
-	return n
+	select {
+	case <-w.ch:
+		return n, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for i, q := range s.waiters {
+			if q == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				// Removing a waiter — the head in particular — may let
+				// the queue behind it fit.
+				s.admitLocked()
+				s.mu.Unlock()
+				return 0, ctx.Err()
+			}
+		}
+		s.mu.Unlock()
+		// The grant raced the cancellation: the reservation is ours and
+		// must be returned before reporting failure.
+		<-w.ch
+		s.release(n)
+		return 0, ctx.Err()
+	}
 }
 
 // grant books a reservation; callers hold s.mu.
@@ -60,11 +90,9 @@ func (s *byteSem) grant(n int64) {
 	}
 }
 
-// release returns a reservation and admits queued waiters in order
-// while they fit.
-func (s *byteSem) release(n int64) {
-	s.mu.Lock()
-	s.used -= n
+// admitLocked admits queued waiters in order while they fit; callers
+// hold s.mu.
+func (s *byteSem) admitLocked() {
 	for len(s.waiters) > 0 {
 		w := s.waiters[0]
 		if s.capacity > 0 && s.used+w.n > s.capacity {
@@ -74,6 +102,14 @@ func (s *byteSem) release(n int64) {
 		s.waiters = s.waiters[1:]
 		close(w.ch)
 	}
+}
+
+// release returns a reservation and admits queued waiters in order
+// while they fit.
+func (s *byteSem) release(n int64) {
+	s.mu.Lock()
+	s.used -= n
+	s.admitLocked()
 	s.mu.Unlock()
 }
 

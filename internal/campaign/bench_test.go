@@ -71,8 +71,8 @@ func BenchmarkFleetSweep(b *testing.B) {
 		jobs := benchFleet(b, true)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			for _, j := range jobs {
-				if r := RunCampaign(j); r.Err != nil {
+			for ji, j := range jobs {
+				if r := RunCampaign(ji, j); r.Err != nil {
 					b.Fatal(r.Err)
 				}
 			}

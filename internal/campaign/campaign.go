@@ -13,11 +13,14 @@
 // online stage always starts from a pristine module and a finished
 // template — whether the template was just computed or pulled from the
 // cache — results are byte-identical at any worker count and any cache
-// state. That invariant is what makes the cache sound, and the tests
-// assert it directly.
+// state. That invariant is what makes the cache sound, what lets a
+// bounded cache evict and re-compute freely, and what lets a daemon
+// checkpoint a half-finished fleet and resume it to byte-identical
+// results; the tests assert it directly.
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -85,6 +88,12 @@ func (j Job) profileKey() profileKey {
 	}
 }
 
+// Fingerprint is the job's template-identity fingerprint — the stable
+// serialized form of the profile-cache key. Jobs with equal
+// fingerprints share one flip template. Checkpoints persist fingerprint
+// sets so a resumed fleet reproduces its original cache-hit assignment.
+func (j Job) Fingerprint() string { return j.profileKey().fingerprint() }
+
 func (j Job) skuKey() skuKey {
 	return skuKey{device: j.Module.Device, geom: j.Module.geometry()}
 }
@@ -98,10 +107,11 @@ type Result struct {
 	Name string
 	// SKU echoes the module's stock-keeping unit.
 	SKU string
-	// CacheHit reports whether the campaign's template was served from
-	// the cache. It is derived from the canonical job order (the first
-	// job of each template identity is the cold one), not from
-	// scheduling, so it is deterministic at any worker count.
+	// CacheHit reports whether the campaign's template identity was
+	// already warm when the fleet started. It is derived from the
+	// canonical job order (the first job of each template identity is
+	// the cold one), not from scheduling or eviction, so it is
+	// deterministic at any worker count and any cache bound.
 	CacheHit bool
 	// ArenaBytes is the module arena high-water mark this campaign
 	// observed. Observational only: pooled modules keep their slabs, so
@@ -112,6 +122,17 @@ type Result struct {
 	// Err is the campaign's failure, if any. One campaign failing does
 	// not stop the fleet.
 	Err error
+}
+
+// Scrub zeroes the observational, schedule-dependent fields (arena
+// high-water mark, stage wall-clock) so results can be byte-compared
+// across worker counts, cache states and resume boundaries. Everything
+// left is covered by the determinism invariant.
+func (r *Result) Scrub() {
+	r.ArenaBytes = 0
+	if r.Online != nil && r.Online.Report != nil {
+		r.Online.Report.Timing = core.StageTiming{}
+	}
 }
 
 // SKUStats aggregates the fleet's outcomes per module SKU.
@@ -131,7 +152,8 @@ type SKUStats struct {
 type Summary struct {
 	// Results holds every campaign in canonical (submission) order.
 	Results []Result
-	// Failed counts campaigns with Err set.
+	// Failed counts campaigns with Err set (including campaigns a
+	// cancelled run never finished).
 	Failed int
 	// CacheHits counts campaigns served a cached template.
 	CacheHits int
@@ -144,7 +166,9 @@ type Summary struct {
 
 // Config controls the fleet engine.
 type Config struct {
-	// Workers bounds concurrently executing campaign stages (≤0 = 1).
+	// Workers bounds concurrently executing campaigns (≤0 = 1). The
+	// dispatcher runs exactly this many goroutines over the job list, so
+	// a 10k-job fleet parks zero goroutines beyond the worker count.
 	Workers int
 	// MaxArenaBytes caps estimated in-flight module state; 0 removes
 	// the cap. Campaigns over the cap admit alone, clamped.
@@ -154,8 +178,24 @@ type Config struct {
 	Cache *ProfileCache
 	// OnResult, when non-nil, streams each campaign's Result as it
 	// finishes (completion order, not submission order). Calls are
-	// serialized.
+	// serialized. Campaigns a cancelled run never finished are NOT
+	// streamed — checkpointing daemons rely on that to record only
+	// completed work.
 	OnResult func(Result)
+	// Indices, when non-nil, maps each position in jobs to its canonical
+	// index in the originally submitted fleet (len must equal len(jobs)).
+	// This is the resume path: a daemon re-running the pending subset of
+	// a checkpointed fleet keeps the original Result.Index values.
+	Indices []int
+	// Hits, when non-nil, overrides the canonical cache-hit assignment
+	// (len must equal len(jobs)). Resume pairs it with Indices so a
+	// resumed fleet reproduces the hit flags its uninterrupted run would
+	// have emitted, regardless of the live cache's current contents.
+	Hits []bool
+
+	// getModule, when non-nil, replaces the module pool's allocator —
+	// a test seam for injecting transient allocation failures.
+	getModule func(g dram.Geometry, d dram.DeviceProfile, seed int64) (*dram.Module, error)
 }
 
 // engine is the per-Run state.
@@ -164,7 +204,7 @@ type engine struct {
 	pool  *dram.ModulePool
 	rec   *memsys.Recycler
 	adm   *byteSem
-	slots chan struct{}
+	get   func(g dram.Geometry, d dram.DeviceProfile, seed int64) (*dram.Module, error)
 }
 
 // templateJob profiles a pristine module of the job's identity and
@@ -216,8 +256,8 @@ func systemFor(mod *dram.Module, rec *memsys.Recycler) *memsys.System {
 	return memsys.NewSystem(mod)
 }
 
-// validate rejects jobs the engine cannot execute canonically.
-func (j Job) validate() error {
+// Validate rejects jobs the engine cannot execute canonically.
+func (j Job) Validate() error {
 	if j.Online.Profile != nil {
 		return fmt.Errorf("campaign: job %q pre-sets Online.Profile; the engine owns template injection", j.Name)
 	}
@@ -232,11 +272,12 @@ func (j Job) validate() error {
 
 // RunCampaign executes one campaign serially with no pooling or
 // caching — the canonical reference execution and the baseline the
-// fleet benchmark compares against. Run produces byte-identical
-// per-campaign results.
-func RunCampaign(job Job) Result {
-	r := Result{Name: job.Name, SKU: job.Module.SKU()}
-	if err := job.validate(); err != nil {
+// fleet benchmark compares against. index becomes Result.Index, so the
+// serial and fleet paths emit identical metadata for the same job list.
+// Run produces byte-identical per-campaign results.
+func RunCampaign(index int, job Job) Result {
+	r := Result{Index: index, Name: job.Name, SKU: job.Module.SKU()}
+	if err := job.Validate(); err != nil {
 		r.Err = err
 		return r
 	}
@@ -258,17 +299,57 @@ func RunCampaign(job Job) Result {
 	return r
 }
 
-// Run executes the fleet: every job, pipelined across cfg.Workers
-// concurrent stage slots, with template deduplication through the
-// profile cache, pooled module arenas, and admission control over
-// estimated in-flight bytes. Per-campaign results are byte-identical to
-// RunCampaign at any worker count and any cache state; only the
-// observational fields (ArenaBytes, PeakReservedBytes, stage timings)
-// depend on scheduling.
+// HitAssignment computes the canonical cache-hit flags for a job list:
+// walking jobs in submission order, a job hits iff its template
+// fingerprint was already seen — in the seed set (identities warm in a
+// shared cache when the fleet starts) or on an earlier valid job.
+// Invalid jobs never template, so they neither hit nor seed a key. The
+// assignment is a pure function of (jobs, seed), which is what lets a
+// daemon checkpoint the seed fingerprints at submission and reproduce
+// the exact flags when resuming.
+func HitAssignment(jobs []Job, seed []string) []bool {
+	seen := make(map[string]bool, len(seed)+len(jobs))
+	for _, fp := range seed {
+		seen[fp] = true
+	}
+	hits := make([]bool, len(jobs))
+	for i, j := range jobs {
+		if j.Validate() != nil {
+			continue
+		}
+		fp := j.Fingerprint()
+		hits[i] = seen[fp]
+		seen[fp] = true
+	}
+	return hits
+}
+
+// Run executes the fleet with no cancellation; see RunContext.
 func Run(jobs []Job, cfg Config) *Summary {
+	return RunContext(context.Background(), jobs, cfg)
+}
+
+// RunContext executes the fleet: every job, dispatched over cfg.Workers
+// worker goroutines with template/plan/online stages pipelined across
+// campaigns, template deduplication through the profile cache, pooled
+// module arenas, and admission control over estimated in-flight bytes.
+// Per-campaign results are byte-identical to RunCampaign at any worker
+// count and any cache state; only the observational fields (ArenaBytes,
+// PeakReservedBytes, stage timings) depend on scheduling.
+//
+// Cancelling ctx stops the run at the next stage boundary: campaigns
+// already past their last cancellation point complete and are streamed;
+// everything else — queued jobs, admission waiters, cache followers —
+// unwinds promptly, leaving no goroutines behind. Unfinished campaigns
+// appear in the Summary with Err set to ctx's error and are not passed
+// to OnResult.
+func RunContext(ctx context.Context, jobs []Job, cfg Config) *Summary {
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
 	}
 	cache := cfg.Cache
 	if cache == nil {
@@ -279,110 +360,173 @@ func Run(jobs []Job, cfg Config) *Summary {
 		pool:  dram.NewModulePool(),
 		rec:   memsys.NewRecycler(),
 		adm:   newByteSem(cfg.MaxArenaBytes),
-		slots: make(chan struct{}, workers),
+	}
+	e.get = cfg.getModule
+	if e.get == nil {
+		e.get = e.pool.Get
+	}
+	if cfg.Indices != nil && len(cfg.Indices) != len(jobs) {
+		panic("campaign: len(Config.Indices) != len(jobs)")
+	}
+	if cfg.Hits != nil && len(cfg.Hits) != len(jobs) {
+		panic("campaign: len(Config.Hits) != len(jobs)")
 	}
 
 	// CacheHit is assigned from canonical order — the first job of each
 	// template identity (counting identities already in a shared cache)
-	// is the cold one — so the flag does not wobble with scheduling.
-	hit := make([]bool, len(jobs))
-	cache.mu.Lock()
-	seen := make(map[profileKey]bool, len(jobs))
-	for k := range cache.entries {
-		seen[k] = true
+	// is the cold one — so the flag does not wobble with scheduling or
+	// eviction. Resume passes the assignment in explicitly.
+	hits := cfg.Hits
+	if hits == nil {
+		hits = HitAssignment(jobs, cache.Fingerprints())
 	}
-	cache.mu.Unlock()
-	for i, j := range jobs {
-		if j.validate() != nil {
-			continue // never templates, so it neither hits nor seeds a key
+	index := func(i int) int {
+		if cfg.Indices != nil {
+			return cfg.Indices[i]
 		}
-		k := j.profileKey()
-		hit[i] = seen[k]
-		seen[k] = true
+		return i
 	}
 
+	// Bounded dispatcher: exactly `workers` goroutines pull job
+	// positions off a channel, so fleet size bounds nothing but the
+	// result slice — a 10k-job fleet runs on a handful of goroutines
+	// instead of parking one per job.
 	results := make([]Result, len(jobs))
+	finished := make([]bool, len(jobs))
+	jobCh := make(chan int)
 	var emitMu sync.Mutex
 	var wg sync.WaitGroup
-	for i := range jobs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			r := e.runJob(i, jobs[i], hit[i])
-			results[i] = r
-			if cfg.OnResult != nil {
-				emitMu.Lock()
-				cfg.OnResult(r)
-				emitMu.Unlock()
+			for i := range jobCh {
+				r, done := e.runJob(ctx, index(i), jobs[i], hits[i])
+				results[i] = r
+				finished[i] = done
+				if done && cfg.OnResult != nil {
+					emitMu.Lock()
+					cfg.OnResult(r)
+					emitMu.Unlock()
+				}
 			}
-		}(i)
+		}()
 	}
+feed:
+	for i := range jobs {
+		select {
+		case jobCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobCh)
 	wg.Wait()
+
+	// Jobs the cancelled run never started or never finished carry the
+	// cancellation error so the summary is explicit about missing work.
+	for i := range jobs {
+		if !finished[i] {
+			results[i] = Result{
+				Index: index(i), Name: jobs[i].Name, SKU: jobs[i].Module.SKU(),
+				CacheHit: hits[i], Err: ctx.Err(),
+			}
+		}
+	}
 
 	return summarize(results, e.adm.peakReserved())
 }
 
-// runJob drives one campaign through the pipeline.
-func (e *engine) runJob(idx int, job Job, hit bool) Result {
+// runJob drives one campaign through the pipeline. The boolean reports
+// completion: false means ctx cancelled the campaign mid-flight and the
+// Result carries the cancellation error rather than an attack outcome.
+func (e *engine) runJob(ctx context.Context, idx int, job Job, hit bool) (Result, bool) {
 	r := Result{Index: idx, Name: job.Name, SKU: job.Module.SKU(), CacheHit: hit}
-	if err := job.validate(); err != nil {
+	if err := job.Validate(); err != nil {
 		r.Err = err
-		return r
+		return r, true
 	}
 	spec := job.Module
 
 	// Admission first: the reservation covers the campaign end to end,
 	// so the byte cap bounds resident state no matter how many worker
 	// slots exist.
-	est := e.arenaEstimate(job)
-	granted := e.adm.acquire(est)
+	granted, err := e.adm.acquire(ctx, e.arenaEstimate(job))
+	if err != nil {
+		r.Err = err
+		return r, false
+	}
 	defer e.adm.release(granted)
 
-	entry, leader := e.cache.begin(job.profileKey())
 	var prof *profile.Profile
 	var mod *dram.Module
-	if leader {
-		e.slots <- struct{}{}
-		var err error
-		mod, err = e.pool.Get(spec.geometry(), spec.Device, spec.Seed)
-		if err == nil {
+	for {
+		entry, leader := e.cache.begin(job.profileKey())
+		if leader {
+			if err := ctx.Err(); err != nil {
+				// A cancelled leader must not leave followers parked on an
+				// entry nobody will finish: abort removes it and wakes them.
+				e.cache.abort(entry, err)
+				r.Err = err
+				return r, false
+			}
+			mod, err = e.get(spec.geometry(), spec.Device, spec.Seed)
+			if err != nil {
+				// Pre-template failure: environmental, not a function of the
+				// template key. Caching it would poison every future campaign
+				// of this identity (fatal for a long-lived daemon), so the
+				// entry is removed and followers re-attempt.
+				e.cache.abort(entry, err)
+				r.Err = fmt.Errorf("campaign: module: %w", err)
+				return r, true
+			}
 			prof, err = templateJob(job, mod, e.rec)
+			// The template computation's outcome — profile or error — is a
+			// deterministic function of the key: cache it either way.
+			e.cache.publish(entry, prof, err)
+			if err != nil {
+				e.pool.Put(mod)
+				r.Err = err
+				return r, true
+			}
+			break
 		}
-		e.cache.publish(entry, prof, err)
-		if err != nil {
-			<-e.slots
-			e.pool.Put(mod)
+		if err := e.cache.wait(ctx, entry); err != nil {
 			r.Err = err
-			return r
+			return r, false
 		}
-	} else {
-		// Followers wait without a slot: a stalled template must not
-		// starve unrelated campaigns of workers.
-		<-entry.ready
+		if entry.transient {
+			// The leader aborted without deciding the key (allocation
+			// failure or cancellation). Re-begin: this campaign may become
+			// the new leader and re-attempt the template.
+			if err := ctx.Err(); err != nil {
+				r.Err = err
+				return r, false
+			}
+			continue
+		}
 		if entry.err != nil {
 			r.Err = entry.err
-			return r
+			return r, true
 		}
 		prof = entry.prof
-		e.slots <- struct{}{}
+		break
 	}
-	defer func() { <-e.slots }()
 
 	if mod != nil {
 		mod.Reset(spec.Device, spec.Seed)
 	} else {
-		var err error
-		mod, err = e.pool.Get(spec.geometry(), spec.Device, spec.Seed)
+		mod, err = e.get(spec.geometry(), spec.Device, spec.Seed)
 		if err != nil {
 			r.Err = fmt.Errorf("campaign: module: %w", err)
-			return r
+			return r, true
 		}
 	}
 	r.Online, r.Err = onlineJob(job, mod, prof, e.rec)
 	r.ArenaBytes = int64(mod.ArenaBytes())
 	e.pool.Put(mod)
-	e.cache.observe(job.skuKey(), leader, prof.TotalFlips(), r.ArenaBytes)
-	return r
+	e.cache.observe(job.skuKey(), !hit, prof.TotalFlips(), r.ArenaBytes)
+	return r, true
 }
 
 // arenaEstimate guesses a campaign's resident-state footprint for
@@ -399,6 +543,14 @@ func (e *engine) arenaEstimate(job Job) int64 {
 		est = p.MaxArenaBytes
 	}
 	return est
+}
+
+// Summarize assembles the canonical-order summary from per-campaign
+// results (ordered by Result.Index as stored). Exposed so a resuming
+// daemon can fold checkpointed and freshly computed results into the
+// same aggregate shape Run produces.
+func Summarize(results []Result) *Summary {
+	return summarize(results, 0)
 }
 
 // summarize assembles the canonical-order summary.
@@ -419,6 +571,12 @@ func summarize(results []Result, peak int64) *Summary {
 			st.CacheHits++
 			s.CacheHits++
 		}
+		// The arena high-water mark is observational but real for failed
+		// campaigns too (an online-stage failure still materialized its
+		// module); excluding them would under-report peak memory.
+		if r.ArenaBytes > st.MaxArenaBytes {
+			st.MaxArenaBytes = r.ArenaBytes
+		}
 		if r.Err != nil {
 			st.Failed++
 			s.Failed++
@@ -426,9 +584,6 @@ func summarize(results []Result, peak int64) *Summary {
 		}
 		st.NMatch += r.Online.NMatch
 		st.NRequired += r.Online.NRequired
-		if r.ArenaBytes > st.MaxArenaBytes {
-			st.MaxArenaBytes = r.ArenaBytes
-		}
 	}
 	sort.Strings(names)
 	for _, n := range names {

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -103,8 +104,7 @@ func TestRunMatchesSerialAtAnyWorkerCount(t *testing.T) {
 
 	want := make([]Result, len(jobs))
 	for i, j := range jobs {
-		want[i] = RunCampaign(j)
-		want[i].Index = i
+		want[i] = RunCampaign(i, j)
 		if want[i].Err != nil {
 			t.Fatalf("serial campaign %d: %v", i, want[i].Err)
 		}
@@ -193,7 +193,7 @@ func TestNoFaultCampaignMatchesPlainExecuteOnline(t *testing.T) {
 		Module:     ModuleSpec{Device: dram.PaperDDR3(), SizeBytes: 16 << 20, Seed: 41},
 		Online:     core.OnlineConfig{BufferPages: 512, Sides: 2, Intensity: 1, MeasureSeed: 3},
 	}
-	got := RunCampaign(job)
+	got := RunCampaign(0, job)
 	if got.Err != nil {
 		t.Fatal(got.Err)
 	}
@@ -280,14 +280,22 @@ func waitWaiters(t *testing.T, s *byteSem, n int) {
 // strict FIFO (a small request must not jump a blocked large one), and
 // peak accounting.
 func TestByteSemFIFO(t *testing.T) {
+	ctx := context.Background()
 	s := newByteSem(100)
-	if got := s.acquire(250); got != 100 {
-		t.Fatalf("oversized acquire granted %d, want clamp to 100", got)
+	if got, err := s.acquire(ctx, 250); err != nil || got != 100 {
+		t.Fatalf("oversized acquire granted %d (err %v), want clamp to 100", got, err)
 	}
 	done := make(chan int, 2)
-	go func() { done <- int(s.acquire(60)) }()
+	mustAcquire := func(n int64) {
+		got, err := s.acquire(ctx, n)
+		if err != nil {
+			t.Errorf("acquire(%d): %v", n, err)
+		}
+		done <- int(got)
+	}
+	go mustAcquire(60)
 	waitWaiters(t, s, 1)
-	go func() { done <- int(s.acquire(1)) }()
+	go mustAcquire(1)
 	waitWaiters(t, s, 2)
 
 	// Free 59 bytes: the queued 60 still does not fit, and the 1 behind

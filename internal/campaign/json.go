@@ -1,0 +1,60 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+
+	"rowhammer/internal/core"
+)
+
+// resultJSON is Result's wire shape. Result.Err is an error interface —
+// json.Marshal would render any non-nil error as "{}" and lose the
+// message — so the wire shape carries the message as a string and
+// decode rebuilds an opaque error. Round-tripping preserves every
+// deterministic field byte for byte; error identity degrades to the
+// message, which is itself deterministic for the engine's own failures.
+type resultJSON struct {
+	Index      int
+	Name       string
+	SKU        string
+	CacheHit   bool
+	ArenaBytes int64
+	Online     *core.OnlineResult `json:",omitempty"`
+	Err        string             `json:",omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r Result) MarshalJSON() ([]byte, error) {
+	w := resultJSON{
+		Index:      r.Index,
+		Name:       r.Name,
+		SKU:        r.SKU,
+		CacheHit:   r.CacheHit,
+		ArenaBytes: r.ArenaBytes,
+		Online:     r.Online,
+	}
+	if r.Err != nil {
+		w.Err = r.Err.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var w resultJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = Result{
+		Index:      w.Index,
+		Name:       w.Name,
+		SKU:        w.SKU,
+		CacheHit:   w.CacheHit,
+		ArenaBytes: w.ArenaBytes,
+		Online:     w.Online,
+	}
+	if w.Err != "" {
+		r.Err = errors.New(w.Err)
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"fmt"
+
+	"rowhammer/internal/campaign"
+	"rowhammer/internal/core"
+	"rowhammer/internal/dram"
+	"rowhammer/internal/memsys"
+	"rowhammer/internal/profile"
+	"rowhammer/internal/tensor"
+)
+
+// FleetSpec is the wire form of one submitted fleet: a named batch of
+// campaign jobs plus optional per-fleet engine overrides. It is what
+// POST /v1/fleets decodes and what the checkpoint persists, so a spec
+// must resolve to the same job list on every load — all resolution is
+// pure (name → Table I profile, zero → documented default).
+type FleetSpec struct {
+	// Name labels the fleet in listings (optional).
+	Name string
+	// Workers overrides the daemon's per-fleet worker count (0 = daemon
+	// default).
+	Workers int
+	// MaxArenaMB overrides the daemon's in-flight arena cap (0 = daemon
+	// default).
+	MaxArenaMB int
+	// Jobs are the campaigns, one Result each.
+	Jobs []JobSpec
+}
+
+// JobSpec is the wire form of one campaign.
+type JobSpec struct {
+	// Name labels the campaign in results (optional).
+	Name string
+	// WeightFile is the victim's page-aligned weight file (base64 in
+	// JSON).
+	WeightFile []byte
+	// Reqs are the offline phase's per-page flip requirements.
+	Reqs []profile.PageRequirement
+	// Module is the DRAM identity under attack.
+	Module ModuleSpec
+	// Online tunes the online engine (zero values pick defaults).
+	Online OnlineSpec
+}
+
+// ModuleSpec selects the simulated DIMM by name rather than by full
+// device profile, so a curl submission stays a one-liner.
+type ModuleSpec struct {
+	// Device is a Table I chip name ("A1" … "N1"); empty picks the
+	// paper's DDR3 module.
+	Device string
+	// SizeMB is the module capacity (0 = 192).
+	SizeMB int
+	// Seed keys the weak-cell layout (0 = 7).
+	Seed int64
+	// FlipFailProb / TRRJitter / FaultSeed configure fault injection
+	// (all zero = deterministic module).
+	FlipFailProb float64
+	TRRJitter    float64
+	FaultSeed    int64
+}
+
+// OnlineSpec mirrors the serializable knobs of core.OnlineConfig.
+type OnlineSpec struct {
+	// BufferPages sizes the templating buffer (0 = the engine default
+	// for the weight file's size).
+	BufferPages int
+	// Sides is the hammer pattern width (0 = 2).
+	Sides int
+	// Intensity is the normalized activation budget (0 = 1).
+	Intensity float64
+	// MeasureSeed seeds side-channel noise (0 = 7).
+	MeasureSeed int64
+	// Rounds / Escalation / RetemplatePasses / MaxBufferPages are the
+	// robust-engine knobs, passed through verbatim.
+	Rounds           int
+	Escalation       float64
+	RetemplatePasses int
+	MaxBufferPages   int
+}
+
+// resolveDevice maps a device name to its profile.
+func (m ModuleSpec) resolveDevice() (dram.DeviceProfile, error) {
+	if m.Device == "" {
+		return dram.PaperDDR3(), nil
+	}
+	p, ok := dram.ProfileByName(m.Device)
+	if !ok {
+		return dram.DeviceProfile{}, fmt.Errorf("unknown device %q", m.Device)
+	}
+	return p, nil
+}
+
+// Resolve turns the spec into the engine's job list. Resolution is a
+// pure function of the spec — the resume path depends on a reloaded
+// spec producing the identical jobs (and therefore identical template
+// fingerprints) as the original submission.
+func (s FleetSpec) Resolve() ([]campaign.Job, error) {
+	if len(s.Jobs) == 0 {
+		return nil, fmt.Errorf("fleet has no jobs")
+	}
+	out := make([]campaign.Job, len(s.Jobs))
+	for i, js := range s.Jobs {
+		dev, err := js.Module.resolveDevice()
+		if err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		if len(js.WeightFile) == 0 || len(js.WeightFile)%memsys.PageSize != 0 {
+			return nil, fmt.Errorf("job %d: weight file must be a non-empty multiple of %d bytes, got %d",
+				i, memsys.PageSize, len(js.WeightFile))
+		}
+		name := js.Name
+		if name == "" {
+			name = fmt.Sprintf("%s-%d", dev.Name, i)
+		}
+		sizeMB := js.Module.SizeMB
+		if sizeMB == 0 {
+			sizeMB = 192
+		}
+		seed := js.Module.Seed
+		if seed == 0 {
+			seed = 7
+		}
+		var fault dram.FaultModel
+		if js.Module.FlipFailProb > 0 || js.Module.TRRJitter > 0 {
+			fault = dram.FaultModel{
+				FlipFailProb: js.Module.FlipFailProb,
+				TRRJitter:    js.Module.TRRJitter,
+				Seed:         js.Module.FaultSeed,
+			}
+			if fault.Seed == 0 {
+				fault.Seed = 1
+			}
+		}
+		ocfg := core.DefaultOnlineConfig(len(js.WeightFile) / memsys.PageSize)
+		if js.Online.BufferPages != 0 {
+			ocfg.BufferPages = js.Online.BufferPages
+		}
+		if js.Online.Sides != 0 {
+			ocfg.Sides = js.Online.Sides
+		}
+		if js.Online.Intensity != 0 {
+			ocfg.Intensity = js.Online.Intensity
+		}
+		ocfg.MeasureSeed = js.Online.MeasureSeed
+		if ocfg.MeasureSeed == 0 {
+			ocfg.MeasureSeed = 7
+		}
+		ocfg.Rounds = js.Online.Rounds
+		ocfg.Escalation = js.Online.Escalation
+		ocfg.RetemplatePasses = js.Online.RetemplatePasses
+		ocfg.MaxBufferPages = js.Online.MaxBufferPages
+
+		out[i] = campaign.Job{
+			Name:       name,
+			WeightFile: js.WeightFile,
+			Reqs:       js.Reqs,
+			Module: campaign.ModuleSpec{
+				Device:    dev,
+				SizeBytes: sizeMB << 20,
+				Seed:      seed,
+				Fault:     fault,
+			},
+			Online: ocfg,
+		}
+		if err := out[i].Validate(); err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// FleetStatus is the wire form of GET /v1/fleets/{id}.
+type FleetStatus struct {
+	ID   string
+	Name string
+	// State is "queued", "running" or "done".
+	State string
+	// Campaigns / Completed / Failed / CacheHits count the fleet's
+	// campaigns and how they went so far.
+	Campaigns int
+	Completed int
+	Failed    int
+	CacheHits int
+	// Digest is the canonical result digest, set once the fleet is done:
+	// sha256 over the scrubbed per-campaign results in index order. Two
+	// runs of the same fleet — interrupted or not — produce equal
+	// digests; that is the checkpoint/resume determinism contract.
+	Digest string `json:",omitempty"`
+	// SKUs aggregates per stock-keeping unit (set once done).
+	SKUs []campaign.SKUStats `json:",omitempty"`
+}
+
+// DemoFleet builds a small self-contained two-SKU fleet over synthetic
+// weight files — the `campaignd -demo` smoke workload and a template
+// for hand-written submissions. campaignsPerSKU ≤ 0 picks 3.
+func DemoFleet(campaignsPerSKU int) FleetSpec {
+	if campaignsPerSKU <= 0 {
+		campaignsPerSKU = 3
+	}
+	spec := FleetSpec{Name: "demo"}
+	skus := []struct {
+		device  string
+		sizeMB  int
+		seed    int64
+		online  OnlineSpec
+		ffail   float64
+		faultSd int64
+	}{
+		{device: "F1", sizeMB: 16, seed: 77,
+			online: OnlineSpec{BufferPages: 1024, Sides: 2, Intensity: 1, MeasureSeed: 7}},
+		{device: "K1", sizeMB: 24, seed: 78, ffail: 0.2, faultSd: 5,
+			online: OnlineSpec{BufferPages: 2048, Sides: 7, Intensity: 1, MeasureSeed: 7,
+				Rounds: 3, Escalation: 2}},
+	}
+	n := 0
+	for _, sku := range skus {
+		for c := 0; c < campaignsPerSKU; c++ {
+			file, reqs := syntheticWorkload(128, int64(100+n))
+			spec.Jobs = append(spec.Jobs, JobSpec{
+				Name:       fmt.Sprintf("demo-%s-%d", sku.device, c),
+				WeightFile: file,
+				Reqs:       reqs,
+				Module: ModuleSpec{
+					Device: sku.device, SizeMB: sku.sizeMB, Seed: sku.seed,
+					FlipFailProb: sku.ffail, FaultSeed: sku.faultSd,
+				},
+				Online: sku.online,
+			})
+			n++
+		}
+	}
+	return spec
+}
+
+// syntheticWorkload builds a random weight file and one single-flip
+// requirement per eighth page, direction chosen so the flip is
+// observable against the stored bit.
+func syntheticWorkload(filePages int, seed int64) ([]byte, []profile.PageRequirement) {
+	rng := tensor.NewRNG(seed)
+	file := make([]byte, filePages*memsys.PageSize)
+	for i := range file {
+		file[i] = byte(rng.Intn(256))
+	}
+	var reqs []profile.PageRequirement
+	for fp := 0; fp < filePages; fp += 8 {
+		off := rng.Intn(memsys.PageSize)
+		bit := rng.Intn(8)
+		dir := dram.ZeroToOne
+		if file[fp*memsys.PageSize+off]&(1<<bit) != 0 {
+			dir = dram.OneToZero
+		}
+		reqs = append(reqs, profile.PageRequirement{
+			FilePage: fp,
+			Flips:    []profile.CellFlip{{Offset: off, Bit: bit, Dir: dir}},
+		})
+	}
+	return file, reqs
+}

@@ -57,8 +57,10 @@ type OnlineConfig struct {
 	// the exact buffer this run would otherwise profile (same base, same
 	// page count on a pristine module of identical identity). The profile
 	// is treated as shared and read-only; when RetemplatePasses allows
-	// in-place mutation, the engine works on a private clone.
-	Profile *profile.Profile
+	// in-place mutation, the engine works on a private clone. Excluded
+	// from JSON: a template is process-local runtime state, not part of
+	// a serialized job spec.
+	Profile *profile.Profile `json:"-"`
 
 	// AfterRound, when non-nil, is called after each verify round with
 	// the round number and a private copy of the weight file as the
@@ -67,8 +69,9 @@ type OnlineConfig struct {
 	// corrupted weights into the live engine between hammer rounds,
 	// measuring the model as it degrades instead of only after the
 	// attack finishes. The callback runs on the attack goroutine; the
-	// byte slice is the callee's to keep.
-	AfterRound func(round int, mapped []byte)
+	// byte slice is the callee's to keep. Excluded from JSON (func
+	// values cannot marshal and would poison serialized job specs).
+	AfterRound func(round int, mapped []byte) `json:"-"`
 }
 
 // validateRetryKnobs rejects negative retry machinery. A negative value

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -77,8 +78,14 @@ func (s *LiveStats) quantile(n int64, q int64) time.Duration {
 	for i := range s.buckets {
 		cum += s.buckets[i].Load()
 		if cum >= rank {
+			// Bucket 63's nominal upper bound (1<<63 ns) overflows
+			// Duration to a negative value; clamp it to the maximum
+			// representable latency instead.
+			if i >= 63 {
+				return time.Duration(math.MaxInt64)
+			}
 			return time.Duration(uint64(1) << uint(i))
 		}
 	}
-	return time.Duration(1<<63 - 1)
+	return time.Duration(math.MaxInt64)
 }

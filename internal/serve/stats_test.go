@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestQuantileTopBucketClamps pins the overflow fix: a latency that
+// lands in bucket 63 (anything with the top nanosecond bit set) must
+// report a positive clamped quantile, not a negative Duration from
+// 1<<63 wrapping.
+func TestQuantileTopBucketClamps(t *testing.T) {
+	var s LiveStats
+	s.record(time.Duration(math.MaxInt64))
+	for _, q := range []int64{50, 99} {
+		got := s.quantile(s.served.Load(), q)
+		if got <= 0 {
+			t.Fatalf("p%d = %v, want positive clamped duration", q, got)
+		}
+		if got != time.Duration(math.MaxInt64) {
+			t.Fatalf("p%d = %v, want clamp to MaxInt64", q, got)
+		}
+	}
+}
+
+// TestQuantileRegularBuckets sanity-checks the untouched path: a
+// latency in a low bucket reports its power-of-two upper bound.
+func TestQuantileRegularBuckets(t *testing.T) {
+	var s LiveStats
+	s.record(1000 * time.Nanosecond) // bits.Len64(1000) = 10 → bucket 10
+	if got, want := s.quantile(1, 50), time.Duration(1<<10); got != want {
+		t.Fatalf("quantile = %v, want %v", got, want)
+	}
+	// Negative latencies clamp to zero and land in bucket Len64(0)=0.
+	var z LiveStats
+	z.record(-time.Second)
+	if got := z.quantile(1, 99); got != time.Duration(1) {
+		t.Fatalf("clamped-negative quantile = %v, want 1ns bound", got)
+	}
+}
